@@ -1,0 +1,52 @@
+// Command harl-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	harl-bench -exp fig5                # scaled budget (minutes)
+//	harl-bench -exp tab4 -scale 0.1     # larger network budget
+//	harl-bench -exp fig7a -budget 1000  # paper-scale operator budget
+//	harl-bench -exp all                 # the whole suite
+//	harl-bench -full -exp fig5          # paper-scale everything (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"harl"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1a fig1b fig1c tab1 fig5 fig6 fig7a fig7b fig8 fig9 tab4 fig10 tab7 tab8) or 'all'")
+	budget := flag.Int("budget", 0, "operator measurement-trial budget (0 = preset default)")
+	scale := flag.Float64("scale", 0, "network budget scale relative to the paper's 12k/22k/16k (0 = preset default)")
+	seed := flag.Uint64("seed", 0, "random seed (0 = preset default)")
+	configs := flag.Int("configs", 0, "Table-6 configurations per operator category, 1..4 (0 = preset default)")
+	full := flag.Bool("full", false, "use the paper-scale preset (hours of runtime)")
+	flag.Parse()
+
+	cfg := harl.ExperimentConfig{
+		Seed:               *seed,
+		OperatorBudget:     *budget,
+		NetworkBudgetScale: *scale,
+		ConfigsPerCategory: *configs,
+		Full:               *full,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		// fig6 and fig9 share runs with fig5/fig8; run each grid once.
+		ids = []string{"tab1", "fig1a", "fig1b", "fig1c", "fig5", "fig7a", "fig7b", "fig8", "tab4", "fig10", "tab7", "tab8"}
+	}
+	for _, id := range ids {
+		fmt.Printf("=== %s ===\n", id)
+		start := time.Now()
+		if err := harl.RunExperiment(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "harl-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,112 @@
+// Command harl-tune tunes a single tensor operator or an end-to-end network
+// with a chosen scheduler preset and prints the outcome.
+//
+// Usage:
+//
+//	harl-tune -op gemm -shape 1024,1024,1024 -scheduler harl -trials 500
+//	harl-tune -op c2d  -shape 56,56,64,64,3,1,1 -batch 16
+//	harl-tune -network bert -batch 1 -trials 600 -scheduler ansor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"harl"
+)
+
+func main() {
+	op := flag.String("op", "", "operator kind: gemm, c1d, c2d, c3d, t2d")
+	shape := flag.String("shape", "", "comma-separated operator shape (gemm: M,K,N; c2d: H,W,Cin,Cout,K,stride,pad; ...)")
+	network := flag.String("network", "", "network to tune end-to-end: bert, resnet50, mobilenetv2")
+	batch := flag.Int("batch", 1, "batch size")
+	target := flag.String("target", "cpu", "target platform: cpu or gpu")
+	scheduler := flag.String("scheduler", "harl", "scheduler preset: "+strings.Join(harl.Schedulers(), ", "))
+	trials := flag.Int("trials", 320, "measurement-trial budget")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	tgt, err := harl.TargetByName(*target)
+	if err != nil {
+		fatal(err)
+	}
+	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed}
+
+	if *network != "" {
+		res, err := harl.TuneNetwork(*network, *batch, tgt, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %s with %s: estimated %.3f ms, measured %.3f ms (%d trials, %.0f s search)\n",
+			res.Network, tgt.Name(), *scheduler, res.EstimatedSeconds*1e3, res.MeasuredSeconds*1e3, res.Trials, res.SearchSeconds)
+		fmt.Printf("%-18s %-7s %-12s %-8s %s\n", "subgraph", "weight", "exec(us)", "trials", "contribution")
+		for _, b := range res.Breakdown {
+			fmt.Printf("%-18s %-7d %-12.1f %-8d %.1f%%\n", b.Name, b.Weight, b.ExecSeconds*1e6, b.Trials, b.Contribution*100)
+		}
+		return
+	}
+
+	dims, err := parseShape(*shape)
+	if err != nil {
+		fatal(err)
+	}
+	var w harl.Workload
+	switch *op {
+	case "gemm":
+		need(dims, 3)
+		w = harl.GEMM(dims[0], dims[1], dims[2], *batch)
+	case "c1d":
+		need(dims, 6)
+		w = harl.Conv1D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], *batch)
+	case "c2d":
+		need(dims, 7)
+		w = harl.Conv2D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], *batch)
+	case "c3d":
+		need(dims, 8)
+		w = harl.Conv3D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], dims[7], *batch)
+	case "t2d":
+		need(dims, 7)
+		w = harl.ConvT2D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], *batch)
+	default:
+		fatal(fmt.Errorf("unknown -op %q and no -network given", *op))
+	}
+
+	res, err := harl.TuneOperator(w, tgt, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s with %s:\n", w.Name(), tgt.Name(), res.Scheduler)
+	fmt.Printf("  best program: %.4f ms (%.1f GFLOP/s)\n", res.ExecSeconds*1e3, res.GFLOPS)
+	fmt.Printf("  trials: %d, simulated search time: %.0f s\n", res.Trials, res.SearchSeconds)
+	fmt.Printf("  schedule: %s\n", res.BestSchedule)
+}
+
+func parseShape(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -shape")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad shape element %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func need(dims []int, n int) {
+	if len(dims) != n {
+		fatal(fmt.Errorf("shape needs %d comma-separated values, got %d", n, len(dims)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harl-tune:", err)
+	os.Exit(1)
+}

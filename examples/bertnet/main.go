@@ -1,0 +1,40 @@
+// bertnet: end-to-end tuning of the BERT subgraph inventory with HARL and
+// with the Ansor baseline, printing the per-subgraph breakdown the paper's
+// Table 4 reports — which GEMMs dominate, how trials were allocated, and the
+// end-to-end speedup of HARL's schedules over Ansor's.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harl"
+)
+
+func main() {
+	const trials = 700
+	tgt := harl.CPU()
+
+	fmt.Println("tuning BERT (batch 1) on CPU — this runs two full tuning jobs…")
+	ansor, err := harl.TuneNetwork("bert", 1, tgt, harl.Options{Scheduler: "ansor", Trials: trials, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	harlRes, err := harl.TuneNetwork("bert", 1, tgt, harl.Options{Scheduler: "harl", Trials: trials, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-18s %-7s %-12s %-8s %s\n", "subgraph", "weight", "exec(us)", "trials", "contribution")
+	for _, b := range harlRes.Breakdown {
+		fmt.Printf("%-18s %-7d %-12.1f %-8d %.1f%%\n",
+			b.Name, b.Weight, b.ExecSeconds*1e6, b.Trials, b.Contribution*100)
+	}
+
+	fmt.Printf("\nend-to-end estimated: ansor %.3f ms, harl %.3f ms\n",
+		ansor.EstimatedSeconds*1e3, harlRes.EstimatedSeconds*1e3)
+	fmt.Printf("end-to-end measured:  ansor %.3f ms, harl %.3f ms  (HARL speedup %.2fx)\n",
+		ansor.MeasuredSeconds*1e3, harlRes.MeasuredSeconds*1e3,
+		ansor.MeasuredSeconds/harlRes.MeasuredSeconds)
+	fmt.Printf("search time: ansor %.0f s, harl %.0f s\n", ansor.SearchSeconds, harlRes.SearchSeconds)
+}

@@ -1,0 +1,43 @@
+// opsweep: a miniature of the paper's Figure 5/6 — sweep several Table-6
+// operator categories, tuning each with Ansor and HARL under an identical
+// budget, and report normalized performance and time-to-baseline-quality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"harl"
+)
+
+func main() {
+	const trials = 240
+	tgt := harl.CPU()
+
+	fmt.Printf("%-8s %-10s %-10s %-9s %-12s\n", "category", "ansor", "harl", "speedup", "harl-time/ansor-time")
+	for _, cat := range []string{"GEMM-M", "GEMM-L", "C2D", "T2D"} {
+		w := harl.TableSixWorkloads(cat, 1)[0]
+
+		a, err := harl.TuneOperator(w, tgt, harl.Options{Scheduler: "ansor", Trials: trials, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := harl.TuneOperator(w, tgt, harl.Options{Scheduler: "harl", Trials: trials, Seed: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Search-time ratio: trials HARL needed to match Ansor's final best.
+		match := len(h.BestLog)
+		for i, e := range h.BestLog {
+			if e <= a.ExecSeconds {
+				match = i + 1
+				break
+			}
+		}
+		maxGF := math.Max(a.GFLOPS, h.GFLOPS)
+		fmt.Printf("%-8s %-10.3f %-10.3f %-9.2f %d/%d trials\n",
+			cat, a.GFLOPS/maxGF, h.GFLOPS/maxGF, h.GFLOPS/a.GFLOPS, match, trials)
+	}
+}

@@ -1,0 +1,35 @@
+// Quickstart: tune a single 512³ GEMM with the HARL auto-scheduler and print
+// the winning schedule, its throughput, and the convergence curve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harl"
+)
+
+func main() {
+	w := harl.GEMM(512, 512, 512, 1)
+	fmt.Println(w.Describe())
+
+	res, err := harl.TuneOperator(w, harl.CPU(), harl.Options{
+		Scheduler: "harl",
+		Trials:    240,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("best program: %.4f ms (%.1f GFLOP/s) after %d trials\n",
+		res.ExecSeconds*1e3, res.GFLOPS, res.Trials)
+	fmt.Printf("winning schedule: %s\n", res.BestSchedule)
+	fmt.Printf("simulated search time: %.0f s\n\n", res.SearchSeconds)
+
+	fmt.Println("convergence (best-so-far ms at every 10% of the budget):")
+	for i := 1; i <= 10; i++ {
+		idx := len(res.BestLog)*i/10 - 1
+		fmt.Printf("  %3d%%: %.4f ms\n", i*10, res.BestLog[idx]*1e3)
+	}
+}

@@ -1,0 +1,372 @@
+// Package harl is a from-scratch Go reproduction of "HARL: Hierarchical
+// Adaptive Reinforcement Learning Based Auto Scheduler for Neural Networks"
+// (Zhang, He, Zhang — ICPP 2022).
+//
+// The package exposes the system's public surface: workloads (the paper's
+// Table-6 tensor operators, the three benchmark networks, and custom
+// operators), targets (simulated CPU/GPU platforms), scheduler presets (HARL
+// and the baselines it is compared against), and the tuning entry points.
+// The paper's full experiment grid is reachable through RunExperiment; the
+// per-experiment index lives in DESIGN.md and measured results in
+// EXPERIMENTS.md.
+//
+// Quick start:
+//
+//	w := harl.GEMM(512, 512, 512, 1)
+//	res, err := harl.TuneOperator(w, harl.CPU(), harl.Options{Scheduler: "harl", Trials: 300})
+//	if err != nil { ... }
+//	fmt.Printf("%.1f GFLOP/s in %d trials\n", res.GFLOPS, res.Trials)
+package harl
+
+import (
+	"fmt"
+	"io"
+
+	"harl/internal/core"
+	"harl/internal/experiments"
+	"harl/internal/hardware"
+	"harl/internal/texpr"
+	"harl/internal/workload"
+)
+
+// Target is an execution platform the auto-scheduler tunes for.
+type Target struct {
+	plat *hardware.Platform
+}
+
+// CPU returns the paper's CPU platform (Intel Xeon 6226R class, 32 cores,
+// AVX-512).
+func CPU() Target { return Target{hardware.CPUXeon6226R()} }
+
+// GPU returns the paper's GPU platform (NVIDIA RTX 3090 class).
+func GPU() Target { return Target{hardware.GPURTX3090()} }
+
+// TargetByName resolves "cpu" or "gpu".
+func TargetByName(name string) (Target, error) {
+	if p := hardware.ByName(name); p != nil {
+		return Target{p}, nil
+	}
+	return Target{}, fmt.Errorf("harl: unknown target %q (want cpu or gpu)", name)
+}
+
+// Name returns the platform identifier.
+func (t Target) Name() string { return t.plat.Name }
+
+// Workload is a tuning target: one subgraph of tensor computation.
+type Workload struct {
+	sg *texpr.Subgraph
+}
+
+// Name returns the workload identifier.
+func (w Workload) Name() string { return w.sg.Name }
+
+// FLOPs returns the floating-point work of one execution.
+func (w Workload) FLOPs() float64 { return w.sg.FLOPs() }
+
+// Describe renders the workload's stage structure.
+func (w Workload) Describe() string { return w.sg.String() }
+
+// GEMM builds an M×K×N matrix multiplication workload (batch ≥ 1).
+func GEMM(m, k, n, batch int) Workload {
+	return Workload{workload.GEMM(fmt.Sprintf("GEMM-%dx%dx%d-b%d", m, k, n, batch), batch, m, k, n)}
+}
+
+// Conv1D builds a 1-D convolution workload with the paper's C1D parameter
+// convention (L, Cin, Cout, kernel, stride, padding).
+func Conv1D(l, cin, cout, kernel, stride, pad, batch int) Workload {
+	return Workload{workload.Conv1D(fmt.Sprintf("C1D-%d-%d-%d-b%d", l, cin, cout, batch), batch, l, cin, cout, kernel, stride, pad)}
+}
+
+// Conv2D builds a 2-D convolution workload (H, W, Cin, Cout, kernel, stride,
+// padding).
+func Conv2D(h, w, cin, cout, kernel, stride, pad, batch int) Workload {
+	return Workload{workload.Conv2D(fmt.Sprintf("C2D-%dx%d-%d-%d-b%d", h, w, cin, cout, batch), batch, h, w, cin, cout, kernel, stride, pad)}
+}
+
+// Conv3D builds a 3-D convolution workload.
+func Conv3D(d, h, w, cin, cout, kernel, stride, pad, batch int) Workload {
+	return Workload{workload.Conv3D(fmt.Sprintf("C3D-%dx%dx%d-%d-%d-b%d", d, h, w, cin, cout, batch), batch, d, h, w, cin, cout, kernel, stride, pad)}
+}
+
+// ConvT2D builds a transposed 2-D convolution workload.
+func ConvT2D(h, w, cin, cout, kernel, stride, pad, batch int) Workload {
+	return Workload{workload.ConvT2D(fmt.Sprintf("T2D-%dx%d-%d-%d-b%d", h, w, cin, cout, batch), batch, h, w, cin, cout, kernel, stride, pad)}
+}
+
+// FusedGEMM builds a GEMM followed by a fused elementwise epilogue (bias +
+// activation with the given per-element FLOP cost), exercising the sketch
+// generator's Tiling-with-Fusion rule.
+func FusedGEMM(m, k, n, batch int, epilogueFLOPs float64) Workload {
+	return Workload{workload.GEMMEpilogue(fmt.Sprintf("GEMM+ep-%dx%dx%d", m, k, n), batch, m, k, n, epilogueFLOPs)}
+}
+
+// TableSixWorkloads returns the four Table-6 configurations of an operator
+// category ("GEMM-S", "GEMM-M", "GEMM-L", "C1D", "C2D", "C3D", "T2D").
+func TableSixWorkloads(category string, batch int) []Workload {
+	var out []Workload
+	for _, sg := range workload.SuiteFor(category, batch) {
+		out = append(out, Workload{sg})
+	}
+	return out
+}
+
+// CustomAxis describes one iteration axis of a custom operator.
+type CustomAxis struct {
+	Name   string
+	Extent int
+	Reduce bool
+}
+
+// CustomOp builds a single-stage custom compute workload from its iteration
+// domain. flopsPerPoint is the FLOP count per point of the full domain;
+// reuse marks the stage as data-reusing (enables tiling/cache-write sketch
+// rules). Input accesses are synthesized: one tensor over the spatial axes
+// and, if reductions exist, one over (reduce × last spatial) — the shape a
+// contraction exhibits.
+func CustomOp(name string, axes []CustomAxis, flopsPerPoint float64, reuse bool) (Workload, error) {
+	st := &texpr.Stage{
+		Name:          "custom",
+		Kind:          texpr.ComputeHeavy,
+		FLOPsPerPoint: flopsPerPoint,
+		HasDataReuse:  reuse,
+	}
+	var spDims, redDims []texpr.AxisRef
+	for _, ax := range axes {
+		if ax.Reduce {
+			st.Reduce = append(st.Reduce, texpr.Iter{Name: ax.Name, Extent: ax.Extent, Kind: texpr.Reduction})
+			redDims = append(redDims, texpr.AxisRef{Iter: len(st.Reduce) - 1, Reduce: true})
+		} else {
+			st.Spatial = append(st.Spatial, texpr.Iter{Name: ax.Name, Extent: ax.Extent, Kind: texpr.Spatial})
+			spDims = append(spDims, texpr.AxisRef{Iter: len(st.Spatial) - 1})
+		}
+	}
+	if len(st.Spatial) == 0 {
+		return Workload{}, fmt.Errorf("harl: custom op %q needs at least one spatial axis", name)
+	}
+	if len(st.Reduce) > 0 {
+		st.HasReductionParallel = true
+		inDims := append(append([]texpr.AxisRef{}, spDims[:len(spDims)-1]...), redDims...)
+		st.Inputs = append(st.Inputs, texpr.Access{Tensor: "A", Dims: inDims})
+		st.Inputs = append(st.Inputs, texpr.Access{Tensor: "B", Dims: append(append([]texpr.AxisRef{}, redDims...), spDims[len(spDims)-1])})
+	} else {
+		st.Inputs = append(st.Inputs, texpr.Access{Tensor: "A", Dims: spDims})
+	}
+	sg, err := texpr.NewSubgraph(name, 1, st)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{sg}, nil
+}
+
+// Options configures a tuning run.
+type Options struct {
+	// Scheduler is a preset name: "harl" (default), "hierarchical-rl",
+	// "harl-nomab", "ansor", "flextensor", "autotvm" or "random".
+	Scheduler string
+	// Trials is the hardware-measurement budget (default 320).
+	Trials int
+	// MeasureK is the measured candidates per round (default 16).
+	MeasureK int
+	// Seed makes the run reproducible (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scheduler == "" {
+		o.Scheduler = "harl"
+	}
+	if o.Trials <= 0 {
+		o.Trials = 320
+	}
+	if o.MeasureK <= 0 {
+		o.MeasureK = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Schedulers lists the available scheduler presets.
+func Schedulers() []string { return core.SchedulerNames() }
+
+// Result summarizes an operator tuning run.
+type Result struct {
+	Scheduler string
+	// ExecSeconds is the (noise-free) execution time of the best program.
+	ExecSeconds float64
+	GFLOPS      float64
+	Trials      int
+	// SearchSeconds is the total simulated tuning time.
+	SearchSeconds float64
+	// BestSchedule describes the winning configuration.
+	BestSchedule string
+	// BestLog is the best-so-far execution time after each trial.
+	BestLog []float64
+}
+
+// TuneOperator tunes one workload on a target.
+func TuneOperator(w Workload, t Target, o Options) (Result, error) {
+	o = o.withDefaults()
+	sched, err := core.NewScheduler(o.Scheduler)
+	if err != nil {
+		return Result{}, err
+	}
+	res := core.TuneOperator(w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed)
+	out := Result{
+		Scheduler:     o.Scheduler,
+		ExecSeconds:   res.BestExec,
+		GFLOPS:        res.BestGFLOPS,
+		Trials:        res.Trials,
+		SearchSeconds: res.CostSec,
+		BestLog:       append([]float64(nil), res.Task.BestLog...),
+	}
+	if res.Task.Best != nil {
+		out.BestSchedule = res.Task.Best.String()
+	}
+	return out, nil
+}
+
+// SubgraphReport is one row of a network tuning breakdown.
+type SubgraphReport struct {
+	Name         string
+	Weight       int
+	ExecSeconds  float64
+	Contribution float64
+	Trials       int
+}
+
+// NetworkResult summarizes an end-to-end network tuning run.
+type NetworkResult struct {
+	Network string
+	// EstimatedSeconds is Σ w_n·g_n; MeasuredSeconds adds the per-subgraph
+	// communication overhead.
+	EstimatedSeconds float64
+	MeasuredSeconds  float64
+	Trials           int
+	SearchSeconds    float64
+	Breakdown        []SubgraphReport
+}
+
+// TuneNetwork tunes one of the paper's networks ("bert", "resnet50",
+// "mobilenetv2") end to end.
+func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, error) {
+	o = o.withDefaults()
+	var net *workload.Network
+	switch name {
+	case "bert", "BERT":
+		net = workload.BERT(batch)
+	case "resnet50", "resnet", "ResNet":
+		net = workload.ResNet50(batch)
+	case "mobilenetv2", "mobilenet", "MobileNet":
+		net = workload.MobileNetV2(batch)
+	default:
+		return NetworkResult{}, fmt.Errorf("harl: unknown network %q", name)
+	}
+	sched, err := core.NewScheduler(o.Scheduler)
+	if err != nil {
+		return NetworkResult{}, err
+	}
+	nt := core.NewNetworkTuner(net, t.plat, sched, o.MeasureK, o.Seed)
+	nt.Run(o.Trials)
+	out := NetworkResult{
+		Network:          net.Name,
+		EstimatedSeconds: nt.EstimatedExec(),
+		MeasuredSeconds:  nt.MeasuredExec(),
+		Trials:           nt.Trials(),
+		SearchSeconds:    nt.Meas.CostSec(),
+	}
+	for i, b := range nt.Breakdown() {
+		out.Breakdown = append(out.Breakdown, SubgraphReport{
+			Name:         b.Name,
+			Weight:       b.Weight,
+			ExecSeconds:  b.BestExec,
+			Contribution: b.Contribution,
+			Trials:       nt.Tasks[i].Trials,
+		})
+	}
+	return out, nil
+}
+
+// ExperimentConfig mirrors the experiment harness configuration; the zero
+// value selects the scaled defaults.
+type ExperimentConfig struct {
+	Seed               uint64
+	OperatorBudget     int
+	MeasureK           int
+	ConfigsPerCategory int
+	Batches            []int
+	NetworkBudgetScale float64
+	NetworkPlatforms   []string
+	Full               bool
+}
+
+func (c ExperimentConfig) resolve() experiments.Config {
+	base := experiments.Scaled()
+	if c.Full {
+		base = experiments.Full()
+	}
+	if c.Seed != 0 {
+		base.Seed = c.Seed
+	}
+	if c.OperatorBudget > 0 {
+		base.OperatorBudget = c.OperatorBudget
+	}
+	if c.MeasureK > 0 {
+		base.MeasureK = c.MeasureK
+	}
+	if c.ConfigsPerCategory > 0 {
+		base.ConfigsPerCategory = c.ConfigsPerCategory
+	}
+	if len(c.Batches) > 0 {
+		base.Batches = c.Batches
+	}
+	if c.NetworkBudgetScale > 0 {
+		base.NetworkBudgetScale = c.NetworkBudgetScale
+	}
+	if len(c.NetworkPlatforms) > 0 {
+		base.NetworkPlatforms = c.NetworkPlatforms
+	}
+	return base
+}
+
+// Experiments lists the reproducible table/figure identifiers.
+func Experiments() []string {
+	return []string{"fig1a", "fig1b", "fig1c", "tab1", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "tab4", "fig10", "tab7", "tab8"}
+}
+
+// RunExperiment regenerates one paper table or figure, writing the rows to w.
+// fig5/fig6 and fig8/fig9 share their underlying runs and are emitted
+// together by either id.
+func RunExperiment(id string, c ExperimentConfig, w io.Writer) error {
+	cfg := c.resolve()
+	switch id {
+	case "fig1a":
+		experiments.GreedyAllocation(cfg, w)
+	case "fig1b":
+		experiments.UniformImprovement(cfg, w)
+	case "fig1c":
+		experiments.FixedLengthWaste(cfg, w)
+	case "tab1":
+		experiments.Table1(w)
+	case "fig5", "fig6":
+		experiments.OperatorGrid(cfg, w)
+	case "fig7a":
+		experiments.AblationTrajectory(cfg, w)
+	case "fig7b":
+		experiments.CriticalSteps(cfg, w)
+	case "fig8", "fig9":
+		experiments.NetworkGrid(cfg, w)
+	case "tab4":
+		experiments.Table4(cfg, w)
+	case "fig10":
+		experiments.AllocationAblation(cfg, w)
+	case "tab7":
+		experiments.LambdaSensitivity(cfg, w)
+	case "tab8":
+		experiments.RhoSensitivity(cfg, w)
+	default:
+		return fmt.Errorf("harl: unknown experiment %q (known: %v)", id, Experiments())
+	}
+	return nil
+}

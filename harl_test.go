@@ -1,0 +1,200 @@
+package harl
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTuneOperatorHappyPath(t *testing.T) {
+	w := GEMM(256, 256, 256, 1)
+	res, err := TuneOperator(w, CPU(), Options{Scheduler: "random", Trials: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFLOPS <= 0 || res.ExecSeconds <= 0 || res.Trials < 48 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.BestSchedule == "" {
+		t.Fatal("missing best schedule description")
+	}
+	if len(res.BestLog) != res.Trials {
+		t.Fatalf("best log %d entries for %d trials", len(res.BestLog), res.Trials)
+	}
+}
+
+func TestTuneOperatorDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scheduler != "harl" || o.Trials != 320 || o.MeasureK != 16 || o.Seed != 1 {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestTuneOperatorUnknownScheduler(t *testing.T) {
+	if _, err := TuneOperator(GEMM(64, 64, 64, 1), CPU(), Options{Scheduler: "nope", Trials: 16}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTuneOperatorReproducible(t *testing.T) {
+	w := GEMM(256, 256, 256, 1)
+	o := Options{Scheduler: "ansor", Trials: 48, Seed: 9}
+	a, err := TuneOperator(w, CPU(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TuneOperator(w, CPU(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecSeconds != b.ExecSeconds || a.SearchSeconds != b.SearchSeconds {
+		t.Fatal("same options diverged")
+	}
+}
+
+func TestTargets(t *testing.T) {
+	if CPU().Name() == GPU().Name() {
+		t.Fatal("targets must differ")
+	}
+	if _, err := TargetByName("cpu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TargetByName("quantum"); err == nil {
+		t.Fatal("unknown target must error")
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	for _, w := range []Workload{
+		GEMM(128, 128, 128, 1),
+		Conv1D(256, 64, 128, 3, 2, 1, 1),
+		Conv2D(56, 56, 64, 64, 1, 1, 0, 1),
+		Conv3D(16, 14, 14, 256, 256, 3, 1, 1, 1),
+		ConvT2D(4, 4, 512, 256, 4, 2, 1, 1),
+		FusedGEMM(128, 128, 128, 1, 4),
+	} {
+		if w.FLOPs() <= 0 {
+			t.Fatalf("%s: non-positive FLOPs", w.Name())
+		}
+		if w.Describe() == "" {
+			t.Fatalf("%s: empty description", w.Name())
+		}
+	}
+}
+
+func TestTableSixWorkloads(t *testing.T) {
+	ws := TableSixWorkloads("GEMM-L", 16)
+	if len(ws) != 4 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+}
+
+func TestCustomOp(t *testing.T) {
+	w, err := CustomOp("contraction", []CustomAxis{
+		{Name: "i", Extent: 64},
+		{Name: "j", Extent: 64},
+		{Name: "k", Extent: 32, Reduce: true},
+	}, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FLOPs() != 2*64*64*32 {
+		t.Fatalf("custom flops %g", w.FLOPs())
+	}
+	res, err := TuneOperator(w, CPU(), Options{Scheduler: "random", Trials: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFLOPS <= 0 {
+		t.Fatal("custom op failed to tune")
+	}
+	if _, err := CustomOp("bad", []CustomAxis{{Name: "k", Extent: 8, Reduce: true}}, 1, false); err == nil {
+		t.Fatal("spatial-free custom op must error")
+	}
+}
+
+func TestTuneNetwork(t *testing.T) {
+	res, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "random", Trials: 330})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.EstimatedSeconds, 1) || res.EstimatedSeconds <= 0 {
+		t.Fatalf("estimated %g", res.EstimatedSeconds)
+	}
+	if res.MeasuredSeconds <= res.EstimatedSeconds {
+		t.Fatal("measured must exceed estimated (communication overhead)")
+	}
+	if len(res.Breakdown) != 10 {
+		t.Fatalf("BERT breakdown rows %d", len(res.Breakdown))
+	}
+	sum := 0.0
+	for _, b := range res.Breakdown {
+		sum += b.Contribution
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("contributions sum %f", sum)
+	}
+	if _, err := TuneNetwork("alexnet", 1, CPU(), Options{}); err == nil {
+		t.Fatal("unknown network must error")
+	}
+}
+
+func TestSchedulersList(t *testing.T) {
+	found := map[string]bool{}
+	for _, s := range Schedulers() {
+		found[s] = true
+	}
+	for _, want := range []string{"harl", "ansor", "flextensor", "hierarchical-rl"} {
+		if !found[want] {
+			t.Fatalf("missing scheduler %q", want)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if err := RunExperiment("fig99", ExperimentConfig{}, io.Discard); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := RunExperiment("tab1", ExperimentConfig{}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "harl") {
+		t.Fatal("table 1 output missing")
+	}
+}
+
+func TestRunExperimentFig1b(t *testing.T) {
+	var sb strings.Builder
+	cfg := ExperimentConfig{OperatorBudget: 64}
+	if err := RunExperiment("fig1b", cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "improvement ratio") {
+		t.Fatalf("fig1b output: %q", sb.String())
+	}
+}
+
+func TestExperimentsListComplete(t *testing.T) {
+	// Every id advertised must dispatch (checked against tab1's cheap path
+	// plus the error path; heavier ids are covered by the bench harness).
+	ids := Experiments()
+	if len(ids) != 14 {
+		t.Fatalf("experiment ids %d want 14 (every paper table+figure)", len(ids))
+	}
+}
+
+func TestExperimentConfigResolve(t *testing.T) {
+	c := ExperimentConfig{OperatorBudget: 99, Batches: []int{4}}.resolve()
+	if c.OperatorBudget != 99 || c.Batches[0] != 4 {
+		t.Fatalf("resolve override broken: %+v", c)
+	}
+	full := ExperimentConfig{Full: true}.resolve()
+	if full.OperatorBudget != 1000 || full.NetworkBudgetScale != 1.0 {
+		t.Fatalf("full preset broken: %+v", full)
+	}
+}

@@ -1,0 +1,189 @@
+package bandit
+
+import (
+	"testing"
+
+	"harl/internal/xrand"
+)
+
+// pullLoop runs a policy against arm reward functions for n steps and
+// returns per-arm pull counts.
+func pullLoop(p Policy, rewards func(step, arm int) float64, n int) []int {
+	var counts []int
+	for step := 0; step < n; step++ {
+		a := p.Select()
+		for len(counts) <= a {
+			counts = append(counts, 0)
+		}
+		counts[a]++
+		p.Update(a, rewards(step, a))
+	}
+	return counts
+}
+
+func TestSWUCBFindsBestStationaryArm(t *testing.T) {
+	rng := xrand.New(1)
+	b := NewSWUCB(3, 0.25, 256, rng.Split())
+	noise := rng.Split()
+	means := []float64{0.2, 0.8, 0.5}
+	counts := pullLoop(b, func(_, arm int) float64 {
+		return means[arm] + 0.05*noise.NormFloat64()
+	}, 600)
+	if counts[1] < counts[0] || counts[1] < counts[2] {
+		t.Fatalf("best arm underplayed: %v", counts)
+	}
+	if counts[1] < 300 {
+		t.Fatalf("best arm only %d/600 pulls", counts[1])
+	}
+}
+
+func TestSWUCBAdaptsToNonStationarity(t *testing.T) {
+	rng := xrand.New(2)
+	b := NewSWUCB(2, 0.25, 64, rng.Split())
+	noise := rng.Split()
+	// Arm 0 is best for the first half, arm 1 for the second half.
+	lastQuarter := make([]int, 2)
+	for step := 0; step < 800; step++ {
+		a := b.Select()
+		r := 0.0
+		if (step < 400 && a == 0) || (step >= 400 && a == 1) {
+			r = 1
+		}
+		r += 0.05 * noise.NormFloat64()
+		b.Update(a, r)
+		if step >= 600 {
+			lastQuarter[a]++
+		}
+	}
+	if lastQuarter[1] < 3*lastQuarter[0] {
+		t.Fatalf("window did not adapt after switch: %v", lastQuarter)
+	}
+}
+
+func TestSWUCBExploresAllArmsFirst(t *testing.T) {
+	rng := xrand.New(3)
+	b := NewSWUCB(5, 0.25, 256, rng)
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		a := b.Select()
+		if seen[a] {
+			t.Fatalf("arm %d pulled before all arms explored", a)
+		}
+		seen[a] = true
+		b.Update(a, 0.5)
+	}
+}
+
+func TestSWUCBWindowEviction(t *testing.T) {
+	rng := xrand.New(4)
+	b := NewSWUCB(2, 0.25, 10, rng)
+	for i := 0; i < 50; i++ {
+		b.Update(0, 1)
+	}
+	counts := b.Counts()
+	if counts[0] != 10 {
+		t.Fatalf("window count %d want 10", counts[0])
+	}
+}
+
+func TestGreedyExploitsOnly(t *testing.T) {
+	rng := xrand.New(5)
+	g := NewGreedy(3, rng)
+	// After one pull each, arm 2 has the best mean and must be chosen forever.
+	g.Update(0, 0.1)
+	g.Update(1, 0.2)
+	g.Update(2, 0.9)
+	for i := 0; i < 50; i++ {
+		a := g.Select()
+		if a != 2 {
+			t.Fatalf("greedy chose %d", a)
+		}
+		g.Update(a, 0.9)
+	}
+}
+
+func TestGreedyInitialSweep(t *testing.T) {
+	g := NewGreedy(4, xrand.New(6))
+	for want := 0; want < 4; want++ {
+		if a := g.Select(); a != want {
+			t.Fatalf("initial sweep picked %d want %d", a, want)
+		}
+		g.Update(want, 0)
+	}
+}
+
+func TestUniformCoversArms(t *testing.T) {
+	u := NewUniform(4, xrand.New(7))
+	counts := pullLoop(u, func(int, int) float64 { return 0 }, 4000)
+	for a, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("arm %d pulled %d/4000 under uniform", a, c)
+		}
+	}
+}
+
+func TestUCB1FindsBestArm(t *testing.T) {
+	rng := xrand.New(8)
+	u := NewUCB1(3, 1.0, rng.Split())
+	noise := rng.Split()
+	means := []float64{0.3, 0.5, 0.9}
+	counts := pullLoop(u, func(_, arm int) float64 {
+		return means[arm] + 0.05*noise.NormFloat64()
+	}, 600)
+	if counts[2] < counts[0] || counts[2] < counts[1] {
+		t.Fatalf("ucb1 underplayed best arm: %v", counts)
+	}
+}
+
+// The ablation the SW-UCB design targets: on a non-stationary stream the
+// sliding window recovers faster than stationary UCB1.
+func TestSWUCBBeatsUCB1AfterSwitch(t *testing.T) {
+	run := func(p Policy) int {
+		rng := xrand.New(99)
+		goodPulls := 0
+		for step := 0; step < 2000; step++ {
+			a := p.Select()
+			r := 0.0
+			if (step < 1000 && a == 0) || (step >= 1000 && a == 1) {
+				r = 1
+			}
+			r += 0.05 * rng.NormFloat64()
+			p.Update(a, r)
+			if step >= 1500 && a == 1 {
+				goodPulls++
+			}
+		}
+		return goodPulls
+	}
+	sw := run(NewSWUCB(2, 0.25, 128, xrand.New(1)))
+	ucb := run(NewUCB1(2, 0.25, xrand.New(1)))
+	if sw <= ucb {
+		t.Fatalf("sw-ucb %d ≤ ucb1 %d good pulls after switch", sw, ucb)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	rng := xrand.New(9)
+	for _, pair := range []struct {
+		p    Policy
+		want string
+	}{
+		{NewSWUCB(2, 0.25, 8, rng), "sw-ucb"},
+		{NewGreedy(2, rng), "greedy"},
+		{NewUniform(2, rng), "uniform"},
+		{NewUCB1(2, 1, rng), "ucb1"},
+	} {
+		if pair.p.Name() != pair.want {
+			t.Fatalf("name %q want %q", pair.p.Name(), pair.want)
+		}
+	}
+}
+
+func TestSWUCBPanicsOnZeroArms(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero arms did not panic")
+		}
+	}()
+	NewSWUCB(0, 0.25, 8, xrand.New(1))
+}

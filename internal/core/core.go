@@ -1,0 +1,130 @@
+// Package core orchestrates the HARL auto-scheduler: it wires workloads,
+// platforms, measurement, cost models and search engines into operator-level
+// tuning jobs (Section 6.2) and end-to-end network tuning jobs with
+// subgraph-level selection (Section 6.3). The package also defines the named
+// scheduler presets compared throughout the paper:
+//
+//	harl             sketch/subgraph SW-UCB + PPO parameters + adaptive stopping
+//	hierarchical-rl  HARL without the adaptive-stopping module (Fig. 7a)
+//	harl-nomab       HARL with Ansor's greedy subgraph allocation (Table 4)
+//	ansor            greedy gradient task scheduler + evolutionary search
+//	flextensor       fixed-sketch fixed-length RL (Fig. 1c)
+//	autotvm          simulated annealing
+//	random           uniform random sampling
+package core
+
+import (
+	"fmt"
+
+	"harl/internal/hardware"
+	"harl/internal/search"
+	"harl/internal/texpr"
+	"harl/internal/xrand"
+)
+
+// TaskPolicy selects which subgraph (task) to optimize each round.
+type TaskPolicy int
+
+const (
+	// PolicyGreedyGradient is Ansor's deterministic argmax over the Eq. 3
+	// gradient estimate (the "Greedy Allocation" row of Table 1).
+	PolicyGreedyGradient TaskPolicy = iota
+	// PolicySWUCB is HARL's non-stationary bandit over subgraphs, using the
+	// same gradient estimate as the arm reward (Eq. 1/3/4).
+	PolicySWUCB
+	// PolicyRoundRobin cycles through tasks (diagnostics only).
+	PolicyRoundRobin
+)
+
+func (p TaskPolicy) String() string {
+	switch p {
+	case PolicyGreedyGradient:
+		return "greedy-gradient"
+	case PolicySWUCB:
+		return "sw-ucb"
+	case PolicyRoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("TaskPolicy(%d)", int(p))
+}
+
+// Scheduler bundles a parameter-search engine with a subgraph-selection
+// policy — one named system of the paper's comparison.
+type Scheduler struct {
+	Name   string
+	Engine search.Engine
+	Policy TaskPolicy
+}
+
+// NewScheduler builds a fresh scheduler preset by name. Engines carry
+// per-task state, so every tuning run should use a new instance.
+func NewScheduler(name string) (*Scheduler, error) {
+	switch name {
+	case "harl":
+		return &Scheduler{Name: name, Engine: search.NewHARL(search.DefaultHARLConfig()), Policy: PolicySWUCB}, nil
+	case "hierarchical-rl":
+		cfg := search.DefaultHARLConfig()
+		cfg.AdaptiveStopping = false
+		return &Scheduler{Name: name, Engine: search.NewHARL(cfg), Policy: PolicySWUCB}, nil
+	case "harl-nomab":
+		return &Scheduler{Name: name, Engine: search.NewHARL(search.DefaultHARLConfig()), Policy: PolicyGreedyGradient}, nil
+	case "ansor":
+		return &Scheduler{Name: name, Engine: search.NewAnsor(search.DefaultAnsorConfig()), Policy: PolicyGreedyGradient}, nil
+	case "flextensor":
+		return &Scheduler{Name: name, Engine: search.NewFlextensor(search.DefaultFlextensorConfig()), Policy: PolicyRoundRobin}, nil
+	case "autotvm":
+		return &Scheduler{Name: name, Engine: search.NewAutoTVM(search.DefaultAutoTVMConfig()), Policy: PolicyGreedyGradient}, nil
+	case "random":
+		return &Scheduler{Name: name, Engine: search.NewRandom(), Policy: PolicyRoundRobin}, nil
+	}
+	return nil, fmt.Errorf("core: unknown scheduler %q", name)
+}
+
+// MustScheduler is NewScheduler that panics on unknown names.
+func MustScheduler(name string) *Scheduler {
+	s, err := NewScheduler(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SchedulerNames lists every available preset.
+func SchedulerNames() []string {
+	return []string{"harl", "hierarchical-rl", "harl-nomab", "ansor", "flextensor", "autotvm", "random"}
+}
+
+// OperatorResult summarizes one operator tuning run.
+type OperatorResult struct {
+	Scheduler string
+	// BestExec is the noise-free simulator time of the best found schedule.
+	BestExec float64
+	// BestGFLOPS is the corresponding throughput.
+	BestGFLOPS float64
+	Trials     int
+	// CostSec is the total simulated search time.
+	CostSec float64
+	Task    *search.Task
+}
+
+// TuneOperator runs a scheduler preset on a single subgraph with the given
+// measurement budget, measuring measureK candidates per round.
+func TuneOperator(sg *texpr.Subgraph, plat *hardware.Platform, sched *Scheduler, budget, measureK int, seed uint64) *OperatorResult {
+	rng := xrand.New(seed)
+	sim := hardware.NewSimulator(plat)
+	meas := hardware.NewMeasurer(sim, rng.Split())
+	task := search.NewTask(sg, plat, meas, rng.Split())
+	search.Tune(sched.Engine, task, budget, measureK)
+
+	res := &OperatorResult{
+		Scheduler: sched.Name,
+		Trials:    task.Trials,
+		CostSec:   meas.CostSec(),
+		Task:      task,
+	}
+	if task.Best != nil {
+		res.BestExec = sim.Exec(task.Best)
+		res.BestGFLOPS = sg.FLOPs() / res.BestExec / 1e9
+	}
+	return res
+}

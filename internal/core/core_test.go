@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"harl/internal/hardware"
+	"harl/internal/workload"
+)
+
+func TestSchedulerPresets(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		s, err := NewScheduler(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name || s.Engine == nil {
+			t.Fatalf("%s: malformed scheduler", name)
+		}
+	}
+	if _, err := NewScheduler("nope"); err == nil {
+		t.Fatal("unknown scheduler must error")
+	}
+}
+
+func TestSchedulerPolicies(t *testing.T) {
+	// The paper's Table 1: Ansor allocates greedily, HARL uses the MAB;
+	// the no-MAB ablation is HARL's engine with the greedy policy.
+	if MustScheduler("ansor").Policy != PolicyGreedyGradient {
+		t.Fatal("ansor policy")
+	}
+	if MustScheduler("harl").Policy != PolicySWUCB {
+		t.Fatal("harl policy")
+	}
+	if MustScheduler("harl-nomab").Policy != PolicyGreedyGradient {
+		t.Fatal("harl-nomab policy")
+	}
+}
+
+func TestTuneOperatorBasics(t *testing.T) {
+	sg := workload.GEMM("g", 1, 256, 256, 256)
+	res := TuneOperator(sg, hardware.CPUXeon6226R(), MustScheduler("random"), 48, 16, 1)
+	if res.Trials < 48 {
+		t.Fatalf("trials %d", res.Trials)
+	}
+	if res.BestExec <= 0 || res.BestGFLOPS <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.CostSec <= 0 {
+		t.Fatal("no search time accounted")
+	}
+}
+
+func TestTuneOperatorReproducible(t *testing.T) {
+	sg := workload.GEMM("g", 1, 256, 256, 256)
+	plat := hardware.CPUXeon6226R()
+	a := TuneOperator(sg, plat, MustScheduler("ansor"), 48, 16, 42)
+	b := TuneOperator(sg, plat, MustScheduler("ansor"), 48, 16, 42)
+	if a.BestExec != b.BestExec || a.CostSec != b.CostSec {
+		t.Fatalf("same seed diverged: %.6g vs %.6g", a.BestExec, b.BestExec)
+	}
+	c := TuneOperator(sg, plat, MustScheduler("ansor"), 48, 16, 43)
+	if a.BestExec == c.BestExec && a.CostSec == c.CostSec {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func newBERTTuner(t *testing.T, sched string, budget int) *NetworkTuner {
+	t.Helper()
+	nt := NewNetworkTuner(workload.BERT(1), hardware.CPUXeon6226R(), MustScheduler(sched), 16, 5)
+	nt.Run(budget)
+	return nt
+}
+
+func TestNetworkTunerRunsBudget(t *testing.T) {
+	nt := newBERTTuner(t, "ansor", 400)
+	if nt.Trials() < 400 {
+		t.Fatalf("trials %d", nt.Trials())
+	}
+	est := nt.EstimatedExec()
+	if math.IsInf(est, 1) || est <= 0 {
+		t.Fatalf("estimated exec %g", est)
+	}
+	if nt.MeasuredExec() <= est {
+		t.Fatal("measured must add communication overhead")
+	}
+	if len(nt.History) == 0 {
+		t.Fatal("no snapshots recorded")
+	}
+}
+
+func TestNetworkTunerVisitsEveryTask(t *testing.T) {
+	nt := newBERTTuner(t, "harl", 400)
+	for i, task := range nt.Tasks {
+		if task.Trials == 0 {
+			t.Fatalf("task %d (%s) never tuned", i, task.Graph.Name)
+		}
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	nt := newBERTTuner(t, "ansor", 400)
+	total := 0.0
+	for _, b := range nt.Breakdown() {
+		if b.Contribution < 0 {
+			t.Fatalf("%s negative contribution", b.Name)
+		}
+		total += b.Contribution
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("contributions sum to %f", total)
+	}
+}
+
+func TestSnapshotsMonotone(t *testing.T) {
+	nt := newBERTTuner(t, "ansor", 400)
+	prevTrials, prevCost := 0, 0.0
+	bestEst := math.Inf(1)
+	for _, s := range nt.History {
+		if s.Trials < prevTrials || s.CostSec < prevCost {
+			t.Fatal("snapshots must be monotone in trials and cost")
+		}
+		prevTrials, prevCost = s.Trials, s.CostSec
+		if !math.IsInf(s.EstExec, 1) && s.EstExec < bestEst {
+			bestEst = s.EstExec
+		}
+	}
+	// The final estimate equals the best seen (best-so-far semantics via
+	// per-task bests).
+	if got := nt.History[len(nt.History)-1].EstExec; got > bestEst+1e-12 {
+		t.Fatalf("final estimate %g worse than best %g", got, bestEst)
+	}
+}
+
+func TestSnapshotAtExec(t *testing.T) {
+	nt := newBERTTuner(t, "ansor", 400)
+	final := nt.EstimatedExec()
+	snap, ok := nt.SnapshotAtExec(final * 1.5)
+	if !ok {
+		t.Fatal("relaxed target must be reached")
+	}
+	if snap.EstExec > final*1.5 {
+		t.Fatal("snapshot does not satisfy target")
+	}
+	if _, ok := nt.SnapshotAtExec(final / 100); ok {
+		t.Fatal("impossible target reported reached")
+	}
+}
+
+func TestGreedyConcentratesOnHeavyTasks(t *testing.T) {
+	nt := newBERTTuner(t, "ansor", 600)
+	trials := nt.TaskTrials()
+	// The four big GEMMs dominate BERT's time; greedy must allocate more to
+	// them than to the cheap elementwise subgraphs.
+	heavy := trials[nt.TaskIndexByName("GEMM-I")] + trials[nt.TaskIndexByName("GEMM-III")] +
+		trials[nt.TaskIndexByName("GEMM-IV")]
+	light := trials[nt.TaskIndexByName("Element-wise-I")] + trials[nt.TaskIndexByName("Element-wise-II")] +
+		trials[nt.TaskIndexByName("GEMM+Tanh")]
+	if heavy <= light {
+		t.Fatalf("greedy allocation heavy=%d light=%d", heavy, light)
+	}
+}
+
+func TestTaskIndexByName(t *testing.T) {
+	nt := NewNetworkTuner(workload.BERT(1), hardware.CPUXeon6226R(), MustScheduler("random"), 16, 1)
+	if nt.TaskIndexByName("Softmax") < 0 {
+		t.Fatal("Softmax not found")
+	}
+	if nt.TaskIndexByName("nope") != -1 {
+		t.Fatal("unknown name must be -1")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyGreedyGradient.String() != "greedy-gradient" ||
+		PolicySWUCB.String() != "sw-ucb" ||
+		PolicyRoundRobin.String() != "round-robin" {
+		t.Fatal("policy strings wrong")
+	}
+}

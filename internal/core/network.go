@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+
+	"harl/internal/bandit"
+	"harl/internal/hardware"
+	"harl/internal/search"
+	"harl/internal/workload"
+	"harl/internal/xrand"
+)
+
+// Gradient-estimate constants of Eq. 3 (paper Table 5).
+const (
+	// GradAlpha weighs the measured improvement slope against the optimistic
+	// potential term.
+	GradAlpha = 0.2
+	// GradBeta scales the similar-subgraph throughput bound.
+	GradBeta = 2.0
+	// CommOverheadSec is the per-subgraph-execution framework/communication
+	// overhead separating the estimated from the measured end-to-end time
+	// (Table 4's "Estimated HARL (sum)" vs "Measured HARL" rows).
+	CommOverheadSec = 3e-6
+)
+
+// NetSnapshot records the tuner state after one round, for allocation and
+// time-to-target analyses (Figures 1a, 9, 10).
+type NetSnapshot struct {
+	Round      int
+	TaskIdx    int   // task tuned this round
+	Trials     int   // cumulative measurement trials
+	TaskTrials []int // per-task cumulative trials
+	CostSec    float64
+	// EstExec is Σ w_n·g_n after this round (+Inf until every task measured).
+	EstExec float64
+}
+
+// NetworkTuner runs end-to-end tuning of a network: each round it selects a
+// subgraph with the scheduler's task policy and runs one engine round on it.
+type NetworkTuner struct {
+	Net   *workload.Network
+	Plat  *hardware.Platform
+	Sched *Scheduler
+	Meas  *hardware.Measurer
+	Tasks []*search.Task
+
+	// RoundTrials is the number of measurements per round (top-K size).
+	RoundTrials int
+
+	mab         *bandit.SWUCB
+	rng         *xrand.RNG
+	allocations []int       // rounds allocated per task
+	gHist       [][]float64 // per task: weighted best exec after each of its rounds
+	rrNext      int
+	History     []NetSnapshot
+}
+
+// NewNetworkTuner builds a tuner with a shared measurer across all subgraph
+// tasks (search time accumulates globally, as on a real tuning box).
+func NewNetworkTuner(net *workload.Network, plat *hardware.Platform, sched *Scheduler, roundTrials int, seed uint64) *NetworkTuner {
+	rng := xrand.New(seed)
+	sim := hardware.NewSimulator(plat)
+	meas := hardware.NewMeasurer(sim, rng.Split())
+	nt := &NetworkTuner{
+		Net:         net,
+		Plat:        plat,
+		Sched:       sched,
+		Meas:        meas,
+		RoundTrials: roundTrials,
+		rng:         rng,
+	}
+	for _, sg := range net.Subgraphs {
+		nt.Tasks = append(nt.Tasks, search.NewTask(sg, plat, meas, rng.Split()))
+	}
+	nt.allocations = make([]int, len(nt.Tasks))
+	nt.gHist = make([][]float64, len(nt.Tasks))
+	if sched.Policy == PolicySWUCB {
+		nt.mab = bandit.NewSWUCB(len(nt.Tasks), 0.25, 256, rng.Split())
+	}
+	return nt
+}
+
+// Trials returns the cumulative number of measurements across all tasks.
+func (nt *NetworkTuner) Trials() int { return nt.Meas.Trials() }
+
+// EstimatedExec returns Σ w_n·g_n, the estimated end-to-end execution time
+// (+Inf until every subgraph has at least one measured schedule).
+func (nt *NetworkTuner) EstimatedExec() float64 {
+	total := 0.0
+	for _, t := range nt.Tasks {
+		g := t.WeightedBestExec()
+		if math.IsInf(g, 1) {
+			return math.Inf(1)
+		}
+		total += g
+	}
+	return total
+}
+
+// MeasuredExec returns the modeled measured end-to-end time: the estimate
+// plus per-subgraph-execution communication overhead.
+func (nt *NetworkTuner) MeasuredExec() float64 {
+	est := nt.EstimatedExec()
+	if math.IsInf(est, 1) {
+		return est
+	}
+	return est + float64(nt.Net.TotalWeight())*CommOverheadSec
+}
+
+// TaskTrials returns a copy of the per-task cumulative trial counts.
+func (nt *NetworkTuner) TaskTrials() []int {
+	out := make([]int, len(nt.Tasks))
+	for i, t := range nt.Tasks {
+		out[i] = t.Trials
+	}
+	return out
+}
+
+// gradientEstimate computes the Eq. 3 benefit score of optimizing task a next
+// (larger = more expected end-to-end gain). The first term is the recent
+// measured improvement slope of the task's weighted execution time; the
+// second is Ansor's optimistic potential: the task can either keep its
+// historical halving pace (g/t) or approach β× the best throughput achieved
+// by similar subgraphs.
+func (nt *NetworkTuner) gradientEstimate(a int) float64 {
+	t := nt.Tasks[a]
+	g := t.WeightedBestExec()
+	if math.IsInf(g, 1) {
+		return math.Inf(1) // unmeasured task: always worth one round
+	}
+	hist := nt.gHist[a]
+	slope := 0.0
+	if n := len(hist); n >= 2 {
+		slope = hist[n-2] - hist[n-1] // positive when improving
+	}
+	ta := float64(nt.allocations[a])
+	if ta < 1 {
+		ta = 1
+	}
+	// Similar subgraphs: same main-stage kind. P is achieved FLOPS.
+	maxP := 0.0
+	mainKind := t.Graph.Stages[t.Graph.MainStage()].Kind
+	for b, o := range nt.Tasks {
+		if b == a || o.Best == nil {
+			continue
+		}
+		if o.Graph.Stages[o.Graph.MainStage()].Kind != mainKind {
+			continue
+		}
+		if p := o.Graph.FLOPs() / nt.Meas.Sim.Exec(o.Best); p > maxP {
+			maxP = p
+		}
+	}
+	potential := g / ta
+	if maxP > 0 {
+		bound := g - GradBeta*float64(t.Graph.Weight)*t.Graph.FLOPs()/maxP
+		// min(-g/t, β·B/maxP - g) in the paper's negative orientation is
+		// max(g/t, g - β·B/maxP) as a positive benefit.
+		if bound > potential {
+			potential = bound
+		}
+	}
+	return GradAlpha*slope + (1-GradAlpha)*potential
+}
+
+// selectTask applies the scheduler's task policy.
+func (nt *NetworkTuner) selectTask() int {
+	// Every task must be visited once before estimates make sense.
+	for a, n := range nt.allocations {
+		if n == 0 {
+			return a
+		}
+	}
+	switch nt.Sched.Policy {
+	case PolicyRoundRobin:
+		a := nt.rrNext
+		nt.rrNext = (nt.rrNext + 1) % len(nt.Tasks)
+		return a
+	case PolicyGreedyGradient:
+		best, bestV := 0, math.Inf(-1)
+		for a := range nt.Tasks {
+			if v := nt.gradientEstimate(a); v > bestV {
+				best, bestV = a, v
+			}
+		}
+		return best
+	case PolicySWUCB:
+		return nt.mab.Select()
+	}
+	return 0
+}
+
+// Round runs one tuning round and returns the index of the tuned task.
+func (nt *NetworkTuner) Round() int {
+	a := nt.selectTask()
+	t := nt.Tasks[a]
+	nt.Sched.Engine.RunRound(t, nt.RoundTrials)
+	nt.allocations[a]++
+	nt.gHist[a] = append(nt.gHist[a], t.WeightedBestExec())
+
+	if nt.mab != nil {
+		// Arm reward: the realized gradient estimate, normalized by the
+		// current total so rewards stay scale-free (Eq. 4's R_t).
+		r := nt.gradientEstimate(a)
+		if est := nt.EstimatedExec(); !math.IsInf(est, 1) && est > 0 && !math.IsInf(r, 1) {
+			nt.mab.Update(a, r/est)
+		} else {
+			nt.mab.Update(a, 0)
+		}
+	}
+	nt.History = append(nt.History, NetSnapshot{
+		Round:      len(nt.History),
+		TaskIdx:    a,
+		Trials:     nt.Meas.Trials(),
+		TaskTrials: nt.TaskTrials(),
+		CostSec:    nt.Meas.CostSec(),
+		EstExec:    nt.EstimatedExec(),
+	})
+	return a
+}
+
+// Run tunes until the measurement budget is exhausted.
+func (nt *NetworkTuner) Run(budgetTrials int) {
+	for nt.Meas.Trials() < budgetTrials {
+		before := nt.Meas.Trials()
+		nt.Round()
+		if nt.Meas.Trials() == before {
+			// The selected task's round was fully deduplicated; force random
+			// exploration on it so the budget always completes.
+			last := nt.History[len(nt.History)-1].TaskIdx
+			search.Tune(search.NewRandom(), nt.Tasks[last], nt.Tasks[last].Trials+nt.RoundTrials, nt.RoundTrials)
+		}
+	}
+}
+
+// SnapshotAtExec returns the earliest snapshot whose estimated execution time
+// reached the target, or the last snapshot if never reached.
+func (nt *NetworkTuner) SnapshotAtExec(target float64) (NetSnapshot, bool) {
+	for _, s := range nt.History {
+		if s.EstExec <= target {
+			return s, true
+		}
+	}
+	if len(nt.History) == 0 {
+		return NetSnapshot{}, false
+	}
+	return nt.History[len(nt.History)-1], false
+}
+
+// TaskIndexByName finds a task by its subgraph name, or -1.
+func (nt *NetworkTuner) TaskIndexByName(name string) int {
+	for i, t := range nt.Tasks {
+		if t.Graph.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SubgraphBreakdown describes one row of Table 4.
+type SubgraphBreakdown struct {
+	Name         string
+	Weight       int
+	BestExec     float64 // noise-free time of one subgraph execution
+	WeightedExec float64
+	Contribution float64 // share of Σ w·g
+}
+
+// Breakdown returns the per-subgraph execution-time decomposition of the
+// tuned network, sorted as stored (network inventory order).
+func (nt *NetworkTuner) Breakdown() []SubgraphBreakdown {
+	total := nt.EstimatedExec()
+	out := make([]SubgraphBreakdown, len(nt.Tasks))
+	for i, t := range nt.Tasks {
+		b := SubgraphBreakdown{Name: t.Graph.Name, Weight: t.Graph.Weight}
+		if t.Best != nil {
+			b.BestExec = nt.Meas.Sim.Exec(t.Best)
+			b.WeightedExec = float64(t.Graph.Weight) * b.BestExec
+			if !math.IsInf(total, 1) && total > 0 {
+				b.Contribution = b.WeightedExec / total
+			}
+		}
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+// Package costmodel implements the light-weight learned cost model of the
+// HARL system: gradient-boosted regression trees (the paper uses XGBoost with
+// Ansor's parameters; this is a from-scratch stdlib implementation of the
+// same algorithm family). The model predicts log-throughput from schedule
+// features, is refit on the fly from hardware measurements after every top-K
+// measurement batch, and serves as the reward function
+//
+//	r(s_t, s_{t-1}) = (C(s_t) - C(s_{t-1})) / C(s_{t-1})
+//
+// of the actor-critic search as well as the ranking oracle of the top-K
+// selection phase.
+package costmodel
+
+import (
+	"math"
+	"sort"
+)
+
+// Params configures the boosted ensemble.
+type Params struct {
+	NumTrees     int     // boosting rounds
+	MaxDepth     int     // tree depth limit
+	LearningRate float64 // shrinkage
+	MinSamples   int     // minimum samples to split a node
+	MaxData      int     // training-set cap (most recent kept)
+	Thresholds   int     // candidate split thresholds per feature
+}
+
+// DefaultParams mirrors the scale of Ansor's XGBoost configuration while
+// staying fast enough to refit hundreds of times per tuning run.
+func DefaultParams() Params {
+	return Params{
+		NumTrees:     30,
+		MaxDepth:     6,
+		LearningRate: 0.3,
+		MinSamples:   6,
+		MaxData:      4096,
+		Thresholds:   12,
+	}
+}
+
+type node struct {
+	feat        int
+	thr         float64
+	left, right int
+	leaf        float64
+	isLeaf      bool
+}
+
+type tree struct{ nodes []node }
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for !t.nodes[i].isLeaf {
+		if x[t.nodes[i].feat] <= t.nodes[i].thr {
+			i = t.nodes[i].left
+		} else {
+			i = t.nodes[i].right
+		}
+	}
+	return t.nodes[i].leaf
+}
+
+// Model is an online-refit GBDT regressor with a ridge-regression base
+// learner: the linear component supplies a smooth, everywhere-nonzero
+// gradient (important for the ratio-form RL reward, which would be exactly
+// zero whenever two neighboring schedules fall into the same tree leaves),
+// and the trees capture the nonlinear residual structure.
+type Model struct {
+	P     Params
+	trees []*tree
+	base  float64
+	lin   []float64 // ridge weights over features (nil until fitted)
+	linMu []float64 // feature means used by the linear term
+
+	yMin, yMax float64 // target range at last refit, bounds extrapolation
+
+	xs [][]float64
+	ys []float64
+
+	// Histogram state rebuilt at each refit: per-feature bin edges and the
+	// binned training matrix (bin index per sample per feature).
+	edges [][]float64
+	bins  [][]uint8
+}
+
+// New creates an empty model.
+func New(p Params) *Model { return &Model{P: p} }
+
+// Len returns the number of stored training samples.
+func (m *Model) Len() int { return len(m.xs) }
+
+// Trained reports whether the model has a fitted ensemble.
+func (m *Model) Trained() bool { return len(m.trees) > 0 || m.lin != nil }
+
+// Add appends measured samples (feature vector, log-throughput target) to the
+// training set, evicting the oldest beyond the cap.
+func (m *Model) Add(x []float64, y float64) {
+	m.xs = append(m.xs, append([]float64(nil), x...))
+	m.ys = append(m.ys, y)
+	if m.P.MaxData > 0 && len(m.xs) > m.P.MaxData {
+		drop := len(m.xs) - m.P.MaxData
+		m.xs = append([][]float64(nil), m.xs[drop:]...)
+		m.ys = append([]float64(nil), m.ys[drop:]...)
+	}
+}
+
+// Refit rebuilds the ensemble from the stored samples. With fewer samples
+// than MinSamples the model stays untrained and Predict returns the base.
+func (m *Model) Refit() {
+	m.trees = nil
+	m.lin = nil
+	n := len(m.xs)
+	if n == 0 {
+		m.base = 0
+		return
+	}
+	sum := 0.0
+	m.yMin, m.yMax = m.ys[0], m.ys[0]
+	for _, y := range m.ys {
+		sum += y
+		if y < m.yMin {
+			m.yMin = y
+		}
+		if y > m.yMax {
+			m.yMax = y
+		}
+	}
+	m.base = sum / float64(n)
+	if n < m.P.MinSamples {
+		return
+	}
+	resid := make([]float64, n)
+	for i, y := range m.ys {
+		resid[i] = y - m.base
+	}
+	m.fitLinear(resid)
+	for i := range resid {
+		resid[i] -= m.linearTerm(m.xs[i])
+	}
+	m.buildBins()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := 0; t < m.P.NumTrees; t++ {
+		tr := m.buildTree(idx, resid, 0)
+		m.trees = append(m.trees, tr)
+		for i := range resid {
+			resid[i] -= m.P.LearningRate * tr.predict(m.xs[i])
+		}
+	}
+}
+
+// numBins is the histogram resolution of the split finder.
+const numBins = 32
+
+// buildBins computes per-feature quantile bin edges over the training set and
+// the binned sample matrix used by bestSplit.
+func (m *Model) buildBins() {
+	n := len(m.xs)
+	d := len(m.xs[0])
+	m.edges = make([][]float64, d)
+	vals := make([]float64, n)
+	for f := 0; f < d; f++ {
+		for i, x := range m.xs {
+			vals[i] = x[f]
+		}
+		sort.Float64s(vals)
+		edges := make([]float64, 0, numBins-1)
+		for b := 1; b < numBins; b++ {
+			e := vals[(n-1)*b/numBins]
+			if len(edges) == 0 || e > edges[len(edges)-1] {
+				edges = append(edges, e)
+			}
+		}
+		m.edges[f] = edges
+	}
+	m.bins = make([][]uint8, n)
+	for i, x := range m.xs {
+		row := make([]uint8, d)
+		for f := 0; f < d; f++ {
+			row[f] = uint8(sort.SearchFloat64s(m.edges[f], x[f]))
+		}
+		m.bins[i] = row
+	}
+}
+
+func (m *Model) buildTree(idx []int, resid []float64, _ int) *tree {
+	tr := &tree{}
+	m.grow(tr, idx, resid, 0)
+	return tr
+}
+
+// grow appends the subtree for the samples in idx and returns its root index.
+func (m *Model) grow(tr *tree, idx []int, resid []float64, depth int) int {
+	me := len(tr.nodes)
+	tr.nodes = append(tr.nodes, node{isLeaf: true, leaf: meanAt(resid, idx)})
+	if depth >= m.P.MaxDepth || len(idx) < m.P.MinSamples {
+		return me
+	}
+	feat, thr, gain := m.bestSplit(idx, resid)
+	if gain <= 1e-12 {
+		return me
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if m.xs[i][feat] <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return me
+	}
+	l := m.grow(tr, li, resid, depth+1)
+	r := m.grow(tr, ri, resid, depth+1)
+	tr.nodes[me] = node{feat: feat, thr: thr, left: l, right: r}
+	return me
+}
+
+// bestSplit finds the split with the largest sum-of-squared-error reduction
+// using the histogram method: accumulate per-bin (count, sum, sum²) for every
+// feature in one pass over the node's samples, then scan the bin boundaries.
+func (m *Model) bestSplit(idx []int, resid []float64) (feat int, thr, gain float64) {
+	nFeat := len(m.edges)
+	total, totalSq := 0.0, 0.0
+	for _, i := range idx {
+		total += resid[i]
+		totalSq += resid[i] * resid[i]
+	}
+	n := float64(len(idx))
+	baseSSE := totalSq - total*total/n
+
+	var cnt [numBins]float64
+	var sum [numBins]float64
+	var sq [numBins]float64
+	feat, gain = -1, 0
+	for f := 0; f < nFeat; f++ {
+		edges := m.edges[f]
+		if len(edges) == 0 {
+			continue
+		}
+		for b := 0; b <= len(edges); b++ {
+			cnt[b], sum[b], sq[b] = 0, 0, 0
+		}
+		for _, i := range idx {
+			b := m.bins[i][f]
+			r := resid[i]
+			cnt[b]++
+			sum[b] += r
+			sq[b] += r * r
+		}
+		lN, lSum, lSq := 0.0, 0.0, 0.0
+		for b := 0; b < len(edges); b++ {
+			lN += cnt[b]
+			lSum += sum[b]
+			lSq += sq[b]
+			if lN == 0 || lN == n {
+				continue
+			}
+			rSum, rSq, rN := total-lSum, totalSq-lSq, n-lN
+			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
+			if g := baseSSE - sse; g > gain {
+				feat, thr, gain = f, edges[b], g
+			}
+		}
+	}
+	if feat < 0 {
+		return 0, 0, 0
+	}
+	return feat, thr, gain
+}
+
+func meanAt(resid []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += resid[i]
+	}
+	return s / float64(len(idx))
+}
+
+// fitLinear fits ridge regression of the residuals onto the features via
+// Gaussian elimination on the regularized normal equations.
+func (m *Model) fitLinear(resid []float64) {
+	n := len(m.xs)
+	d := len(m.xs[0])
+	mu := make([]float64, d)
+	for _, x := range m.xs {
+		for j, v := range x {
+			mu[j] += v
+		}
+	}
+	for j := range mu {
+		mu[j] /= float64(n)
+	}
+	// A = XᵀX + λI, b = Xᵀr with centered features.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	const lambda = 5.0
+	for i := 0; i < d; i++ {
+		a[i][i] = lambda
+	}
+	for k := 0; k < n; k++ {
+		x := m.xs[k]
+		for i := 0; i < d; i++ {
+			xi := x[i] - mu[i]
+			for j := i; j < d; j++ {
+				a[i][j] += xi * (x[j] - mu[j])
+			}
+			a[i][d] += xi * resid[k]
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < d; col++ {
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if abs(a[r][col]) > abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		if abs(a[col][col]) < 1e-12 {
+			continue
+		}
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, d)
+	for i := 0; i < d; i++ {
+		if abs(a[i][i]) > 1e-12 {
+			w[i] = a[i][d] / a[i][i]
+		}
+	}
+	m.lin, m.linMu = w, mu
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (m *Model) linearTerm(x []float64) float64 {
+	if m.lin == nil {
+		return 0
+	}
+	s := 0.0
+	for j, w := range m.lin {
+		s += w * (x[j] - m.linMu[j])
+	}
+	if math.IsNaN(s) {
+		return 0
+	}
+	// The linear component exists to provide a smooth local reward gradient;
+	// cap its global influence so a hyperplane cannot out-rank the trees far
+	// from the training data.
+	if cap := 0.25 * (m.yMax - m.yMin + 1e-9); s > cap {
+		s = cap
+	} else if cap := 0.25 * (m.yMax - m.yMin + 1e-9); s < -cap {
+		s = -cap
+	}
+	return s
+}
+
+// Predict returns the model output (log-throughput) for one feature vector.
+// Predictions are clamped to slightly beyond the observed target range so the
+// linear base cannot extrapolate to absurd scores far from the training data.
+func (m *Model) Predict(x []float64) float64 {
+	y := m.base + m.linearTerm(x)
+	for _, t := range m.trees {
+		y += m.P.LearningRate * t.predict(x)
+	}
+	if m.Trained() {
+		if hi := m.yMax + 0.5; y > hi {
+			y = hi
+		}
+		if lo := m.yMin - 0.5; y < lo {
+			y = lo
+		}
+	}
+	return y
+}
+
+// PredictBatch predicts a slice of feature vectors.
+func (m *Model) PredictBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Throughput converts a prediction into a strictly positive score usable as
+// C(s) in the ratio-form reward. Predictions are clamped to keep the ratio
+// well-behaved before the model has seen data.
+func (m *Model) Throughput(x []float64) float64 {
+	p := m.Predict(x)
+	if p > 60 {
+		p = 60
+	}
+	if p < -60 {
+		p = -60
+	}
+	return math.Exp(p)
+}

@@ -1,0 +1,207 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"harl/internal/stats"
+	"harl/internal/xrand"
+)
+
+// synth generates n samples of a nonlinear target over d features.
+func synth(rng *xrand.RNG, n, d int) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = 3*x[0] - 2*x[1] + 4*x[0]*x[1] + math.Sin(6*x[2])
+	}
+	return xs, ys
+}
+
+func TestFitNonlinearFunction(t *testing.T) {
+	rng := xrand.New(1)
+	m := New(DefaultParams())
+	xs, ys := synth(rng, 600, 6)
+	for i := range xs {
+		m.Add(xs[i], ys[i])
+	}
+	m.Refit()
+	if !m.Trained() {
+		t.Fatal("model should be trained")
+	}
+	// Holdout error must be far below the target's variance.
+	hx, hy := synth(rng, 300, 6)
+	mse, varY := 0.0, 0.0
+	meanY := 0.0
+	for _, y := range hy {
+		meanY += y
+	}
+	meanY /= float64(len(hy))
+	for i := range hx {
+		d := m.Predict(hx[i]) - hy[i]
+		mse += d * d
+		dv := hy[i] - meanY
+		varY += dv * dv
+	}
+	if r2 := 1 - mse/varY; r2 < 0.8 {
+		t.Fatalf("holdout R² = %.3f, want ≥ 0.8", r2)
+	}
+}
+
+func TestRankingQuality(t *testing.T) {
+	rng := xrand.New(2)
+	m := New(DefaultParams())
+	xs, ys := synth(rng, 500, 6)
+	for i := range xs {
+		m.Add(xs[i], ys[i])
+	}
+	m.Refit()
+	hx, hy := synth(rng, 300, 6)
+	pred := m.PredictBatch(hx)
+	if rho := stats.Spearman(pred, hy); rho < 0.9 {
+		t.Fatalf("holdout spearman %.3f, want ≥ 0.9", rho)
+	}
+}
+
+func TestUntrainedBehaviour(t *testing.T) {
+	m := New(DefaultParams())
+	if m.Trained() {
+		t.Fatal("empty model claims training")
+	}
+	if p := m.Predict([]float64{1, 2}); p != 0 {
+		t.Fatalf("empty model predicts %f", p)
+	}
+	m.Add([]float64{1}, 5)
+	m.Refit() // below MinSamples: base only
+	if m.Trained() {
+		t.Fatal("single sample should not train trees")
+	}
+	if p := m.Predict([]float64{1}); p != 5 {
+		t.Fatalf("base prediction %f want 5", p)
+	}
+}
+
+func TestRefitDeterministic(t *testing.T) {
+	rng := xrand.New(3)
+	xs, ys := synth(rng, 200, 4)
+	a, b := New(DefaultParams()), New(DefaultParams())
+	for i := range xs {
+		a.Add(xs[i], ys[i])
+		b.Add(xs[i], ys[i])
+	}
+	a.Refit()
+	b.Refit()
+	probe := []float64{0.3, 0.7, 0.1, 0.9}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("refit not deterministic")
+	}
+}
+
+func TestMaxDataEviction(t *testing.T) {
+	p := DefaultParams()
+	p.MaxData = 50
+	m := New(p)
+	for i := 0; i < 120; i++ {
+		m.Add([]float64{float64(i)}, float64(i))
+	}
+	if m.Len() != 50 {
+		t.Fatalf("len %d want 50", m.Len())
+	}
+}
+
+func TestPredictionClampedToTargetRange(t *testing.T) {
+	rng := xrand.New(4)
+	m := New(DefaultParams())
+	xs, ys := synth(rng, 300, 4)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		m.Add(xs[i], ys[i])
+		yMin = math.Min(yMin, ys[i])
+		yMax = math.Max(yMax, ys[i])
+	}
+	m.Refit()
+	// Far outside the training distribution the prediction must stay within
+	// the clamped band — extrapolation safety for the evolutionary ranking.
+	f := func(raw []float64) bool {
+		x := make([]float64, 4)
+		for j := range x {
+			if j < len(raw) {
+				x[j] = raw[j] * 100
+			}
+		}
+		p := m.Predict(x)
+		return p <= yMax+0.5+1e-9 && p >= yMin-0.5-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	rng := xrand.New(5)
+	m := New(DefaultParams())
+	xs, ys := synth(rng, 100, 3)
+	for i := range xs {
+		m.Add(xs[i], ys[i])
+	}
+	m.Refit()
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if v := m.Throughput(x); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("throughput %v", v)
+		}
+	}
+}
+
+func TestLinearTermGivesLocalGradient(t *testing.T) {
+	// A pure linear target: nearby points must get different predictions
+	// (the ratio-form RL reward needs non-zero local differences).
+	rng := xrand.New(6)
+	m := New(DefaultParams())
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		m.Add(x, 2*x[0]+x[1])
+	}
+	m.Refit()
+	a := m.Predict([]float64{0.50, 0.50})
+	b := m.Predict([]float64{0.52, 0.50})
+	if a == b {
+		t.Fatal("no local gradient between nearby points")
+	}
+	if b < a {
+		t.Fatal("gradient direction wrong for increasing feature")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	m := New(DefaultParams())
+	for i := 0; i < 50; i++ {
+		m.Add([]float64{float64(i % 7), float64(i % 3)}, 4.2)
+	}
+	m.Refit()
+	if p := m.Predict([]float64{1, 1}); math.Abs(p-4.2) > 1e-6 {
+		t.Fatalf("constant target predicted %f", p)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := xrand.New(7)
+	m := New(DefaultParams())
+	xs, ys := synth(rng, 150, 3)
+	for i := range xs {
+		m.Add(xs[i], ys[i])
+	}
+	m.Refit()
+	batch := m.PredictBatch(xs[:10])
+	for i := range batch {
+		if batch[i] != m.Predict(xs[i]) {
+			t.Fatal("batch and single predictions differ")
+		}
+	}
+}

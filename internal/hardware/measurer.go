@@ -1,0 +1,122 @@
+package hardware
+
+import (
+	"math"
+
+	"harl/internal/schedule"
+	"harl/internal/xrand"
+)
+
+// Search-computation cost constants (seconds of simulated tuner time). They
+// give the search-time accounting realistic proportions: a hardware
+// measurement costs seconds (compile + r_min repeats), one cost-model query
+// costs tens of microseconds, and one RL forward/backward step costs a
+// fraction of a millisecond.
+const (
+	// DefaultCompileSec is the per-trial program build + upload overhead.
+	DefaultCompileSec = 1.2
+	// DefaultRepeatMinSec is r_min from Table 5: a schedule is re-executed
+	// until at least this much wall-clock has been spent measuring it.
+	DefaultRepeatMinSec = 1.0
+	// CostModelQuerySec is one cost-model prediction including candidate
+	// feature extraction (feature extraction dominates in TVM-class systems).
+	CostModelQuerySec = 1e-3
+	// RLStepSec is one actor-critic forward pass for one track, including
+	// state featurization and environment application.
+	RLStepSec = 9e-3
+	// RLTrainSec is one PPO update on a minibatch.
+	RLTrainSec = 2e-3
+	// EvoStepSec is one evolutionary mutation + bookkeeping.
+	EvoStepSec = 5e-6
+)
+
+// Measurer is the simulated measurement harness shared by all search engines.
+// It adds seeded Gaussian noise to the simulator's deterministic time,
+// applies the paper's repeat rule (r_min), and accounts the total simulated
+// search time (measurement cost plus search-computation cost reported by the
+// engines), which is the "search time" metric of Figures 6 and 9.
+type Measurer struct {
+	Sim *Simulator
+	RNG *xrand.RNG
+
+	CompileSec   float64
+	RepeatMinSec float64
+
+	trials   int
+	costSec  float64
+	bestExec float64
+	execLog  []float64 // best-so-far exec time after each trial
+	costLog  []float64 // cumulative search seconds after each trial
+}
+
+// NewMeasurer builds a measurer over the simulator with an independent noise
+// stream.
+func NewMeasurer(sim *Simulator, rng *xrand.RNG) *Measurer {
+	return &Measurer{
+		Sim:          sim,
+		RNG:          rng,
+		CompileSec:   DefaultCompileSec,
+		RepeatMinSec: DefaultRepeatMinSec,
+		bestExec:     math.Inf(1),
+	}
+}
+
+// Measure runs one hardware trial: it returns the noisy measured execution
+// time in seconds and charges the measurement cost to the search-time budget.
+func (m *Measurer) Measure(s *schedule.Schedule) float64 {
+	exec := m.Sim.Exec(s)
+	noisy := exec * (1 + m.Sim.Plat.NoiseAmp*m.RNG.NormFloat64())
+	if noisy < 1e-8 {
+		noisy = 1e-8
+	}
+	repeats := math.Max(3, math.Ceil(m.RepeatMinSec/noisy))
+	m.costSec += m.CompileSec + repeats*noisy
+	m.trials++
+	if noisy < m.bestExec {
+		m.bestExec = noisy
+	}
+	m.execLog = append(m.execLog, m.bestExec)
+	m.costLog = append(m.costLog, m.costSec)
+	return noisy
+}
+
+// AddSearchCost charges non-measurement tuner computation to the budget.
+func (m *Measurer) AddSearchCost(sec float64) { m.costSec += sec }
+
+// Trials returns the number of hardware measurements performed.
+func (m *Measurer) Trials() int { return m.trials }
+
+// CostSec returns the total simulated search time so far.
+func (m *Measurer) CostSec() float64 { return m.costSec }
+
+// BestExec returns the best measured execution time so far (+Inf if none).
+func (m *Measurer) BestExec() float64 { return m.bestExec }
+
+// BestLog returns the best-so-far execution time after each trial.
+func (m *Measurer) BestLog() []float64 { return m.execLog }
+
+// CostLog returns the cumulative search time after each trial.
+func (m *Measurer) CostLog() []float64 { return m.costLog }
+
+// TimeToReach returns the simulated search seconds spent until the best
+// measured execution time first dropped to target or below, and whether the
+// target was reached at all.
+func (m *Measurer) TimeToReach(target float64) (float64, bool) {
+	for i, e := range m.execLog {
+		if e <= target {
+			return m.costLog[i], true
+		}
+	}
+	return m.costSec, false
+}
+
+// TrialsToReach returns the number of trials until the best measured time
+// first reached target, and whether it was reached.
+func (m *Measurer) TrialsToReach(target float64) (int, bool) {
+	for i, e := range m.execLog {
+		if e <= target {
+			return i + 1, true
+		}
+	}
+	return m.trials, false
+}

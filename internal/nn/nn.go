@@ -1,0 +1,277 @@
+// Package nn is the minimal neural-network substrate backing HARL's
+// actor-critic models: dense layers with manual backpropagation, tanh
+// activations, softmax/categorical utilities and the Adam optimizer. The
+// original system uses PyTorch via the PPO-PyTorch reference implementation;
+// the networks involved are small MLPs, which this package reproduces with
+// per-sample forward/backward passes (minibatches are loops — the state
+// dimensionality of schedule features makes this more than fast enough).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"harl/internal/xrand"
+)
+
+// Linear is a dense layer y = Wx + b with accumulated gradients and Adam
+// moment state.
+type Linear struct {
+	In, Out int
+	W, B    []float64 // W is row-major [Out][In]
+
+	gW, gB []float64
+	mW, vW []float64
+	mB, vB []float64
+}
+
+// NewLinear creates a layer with Xavier-uniform initialized weights.
+func NewLinear(in, out int, rng *xrand.RNG) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W: make([]float64, in*out), B: make([]float64, out),
+		gW: make([]float64, in*out), gB: make([]float64, out),
+		mW: make([]float64, in*out), vW: make([]float64, in*out),
+		mB: make([]float64, out), vB: make([]float64, out),
+	}
+	scale := math.Sqrt(6.0 / float64(in+out))
+	for i := range l.W {
+		l.W[i] = (2*rng.Float64() - 1) * scale
+	}
+	return l
+}
+
+// Forward computes y = Wx + b.
+func (l *Linear) Forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: Linear forward dim %d != %d", len(x), l.In))
+	}
+	y := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		s := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients given the layer input x and the
+// output gradient dy, and returns the input gradient dx.
+func (l *Linear) Backward(x, dy []float64) []float64 {
+	dx := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := dy[o]
+		l.gB[o] += g
+		row := l.W[o*l.In : (o+1)*l.In]
+		grow := l.gW[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			grow[i] += g * xi
+			dx[i] += row[i] * g
+		}
+	}
+	return dx
+}
+
+// Step applies one Adam update with the accumulated gradients (scaled by
+// 1/batch) and clears them. t is the 1-based Adam timestep.
+func (l *Linear) Step(lr float64, batch int, t int) {
+	adam(l.W, l.gW, l.mW, l.vW, lr, batch, t)
+	adam(l.B, l.gB, l.mB, l.vB, lr, batch, t)
+}
+
+// ZeroGrad clears accumulated gradients without updating.
+func (l *Linear) ZeroGrad() {
+	for i := range l.gW {
+		l.gW[i] = 0
+	}
+	for i := range l.gB {
+		l.gB[i] = 0
+	}
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func adam(w, g, m, v []float64, lr float64, batch, t int) {
+	inv := 1.0 / float64(batch)
+	bc1 := 1 - math.Pow(adamBeta1, float64(t))
+	bc2 := 1 - math.Pow(adamBeta2, float64(t))
+	for i := range w {
+		gi := g[i] * inv
+		m[i] = adamBeta1*m[i] + (1-adamBeta1)*gi
+		v[i] = adamBeta2*v[i] + (1-adamBeta2)*gi*gi
+		w[i] -= lr * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + adamEps)
+		g[i] = 0
+	}
+}
+
+// MLP is a stack of Linear layers with tanh activations between them (none
+// after the last layer).
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. (in, 64, 64, out).
+func NewMLP(rng *xrand.RNG, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(sizes[i], sizes[i+1], rng))
+	}
+	return m
+}
+
+// Cache stores per-layer pre-activation inputs for backprop.
+type Cache struct {
+	inputs [][]float64 // input to each layer (post-activation of previous)
+}
+
+// Forward runs the network and returns the output plus the backprop cache.
+func (m *MLP) Forward(x []float64) ([]float64, *Cache) {
+	c := &Cache{}
+	h := x
+	for i, l := range m.Layers {
+		c.inputs = append(c.inputs, h)
+		h = l.Forward(h)
+		if i+1 < len(m.Layers) {
+			for j := range h {
+				h[j] = math.Tanh(h[j])
+			}
+		}
+	}
+	return h, c
+}
+
+// Backward accumulates gradients for output gradient dy using the cache from
+// the matching Forward call, and returns the input gradient.
+func (m *MLP) Backward(c *Cache, dy []float64) []float64 {
+	g := dy
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		if i < len(m.Layers)-1 {
+			// The cached input of layer i+1 is tanh(z_i); d tanh = 1 - tanh².
+			act := c.inputs[i+1]
+			for j := range g {
+				g[j] *= 1 - act[j]*act[j]
+			}
+		}
+		g = m.Layers[i].Backward(c.inputs[i], g)
+	}
+	return g
+}
+
+// Step applies Adam to every layer.
+func (m *MLP) Step(lr float64, batch, t int) {
+	for _, l := range m.Layers {
+		l.Step(lr, batch, t)
+	}
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}
+
+// Softmax returns the softmax of the logits (numerically stabilized).
+func Softmax(logits []float64) []float64 {
+	maxL := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxL)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the probability vector.
+func SampleCategorical(probs []float64, rng *xrand.RNG) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// LogProb returns log p[a] clamped away from -inf.
+func LogProb(probs []float64, a int) float64 {
+	p := probs[a]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return math.Log(p)
+}
+
+// Entropy returns the Shannon entropy of the distribution in nats.
+func Entropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 1e-12 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// LogProbGrad returns d log p[a] / d logits = onehot(a) - probs.
+func LogProbGrad(probs []float64, a int) []float64 {
+	g := make([]float64, len(probs))
+	for i, p := range probs {
+		g[i] = -p
+	}
+	g[a] += 1
+	return g
+}
+
+// EntropyGrad returns d H / d logits = -p_i (log p_i + H).
+func EntropyGrad(probs []float64) []float64 {
+	h := Entropy(probs)
+	g := make([]float64, len(probs))
+	for i, p := range probs {
+		if p > 1e-12 {
+			g[i] = -p * (math.Log(p) + h)
+		}
+	}
+	return g
+}
+
+// ArgMax returns the index of the largest value.
+func ArgMax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

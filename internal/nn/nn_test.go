@@ -1,0 +1,244 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"harl/internal/xrand"
+)
+
+func TestLinearForwardShape(t *testing.T) {
+	rng := xrand.New(1)
+	l := NewLinear(3, 2, rng)
+	y := l.Forward([]float64{1, 2, 3})
+	if len(y) != 2 {
+		t.Fatalf("output len %d", len(y))
+	}
+}
+
+func TestLinearForwardPanicsOnDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch did not panic")
+		}
+	}()
+	NewLinear(3, 2, xrand.New(1)).Forward([]float64{1})
+}
+
+// TestLinearGradCheck verifies Backward against finite differences.
+func TestLinearGradCheck(t *testing.T) {
+	rng := xrand.New(2)
+	l := NewLinear(4, 3, rng)
+	x := []float64{0.3, -0.2, 0.8, 0.1}
+	dy := []float64{1, -0.5, 0.25}
+	loss := func() float64 {
+		y := l.Forward(x)
+		s := 0.0
+		for i := range y {
+			s += y[i] * dy[i]
+		}
+		return s
+	}
+	l.ZeroGrad()
+	dx := l.Backward(x, dy)
+	const eps = 1e-6
+	// Weight gradients.
+	for i := 0; i < len(l.W); i += 5 {
+		orig := l.W[i]
+		l.W[i] = orig + eps
+		up := loss()
+		l.W[i] = orig - eps
+		down := loss()
+		l.W[i] = orig
+		want := (up - down) / (2 * eps)
+		if math.Abs(want-l.gW[i]) > 1e-5 {
+			t.Fatalf("dW[%d] = %f want %f", i, l.gW[i], want)
+		}
+	}
+	// Input gradients.
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := loss()
+		x[i] = orig - eps
+		down := loss()
+		x[i] = orig
+		want := (up - down) / (2 * eps)
+		if math.Abs(want-dx[i]) > 1e-5 {
+			t.Fatalf("dx[%d] = %f want %f", i, dx[i], want)
+		}
+	}
+}
+
+// TestMLPGradCheck verifies end-to-end backprop through tanh layers.
+func TestMLPGradCheck(t *testing.T) {
+	rng := xrand.New(3)
+	m := NewMLP(rng, 3, 5, 2)
+	x := []float64{0.2, -0.4, 0.7}
+	dy := []float64{1, 2}
+	loss := func() float64 {
+		y, _ := m.Forward(append([]float64(nil), x...))
+		return y[0]*dy[0] + y[1]*dy[1]
+	}
+	m.ZeroGrad()
+	_, cache := m.Forward(append([]float64(nil), x...))
+	m.Backward(cache, append([]float64(nil), dy...))
+	const eps = 1e-6
+	for li, l := range m.Layers {
+		for i := 0; i < len(l.W); i += 3 {
+			orig := l.W[i]
+			l.W[i] = orig + eps
+			up := loss()
+			l.W[i] = orig - eps
+			down := loss()
+			l.W[i] = orig
+			want := (up - down) / (2 * eps)
+			if math.Abs(want-l.gW[i]) > 1e-4 {
+				t.Fatalf("layer %d dW[%d] = %g want %g", li, i, l.gW[i], want)
+			}
+		}
+	}
+}
+
+func TestMLPLearnsRegression(t *testing.T) {
+	rng := xrand.New(4)
+	m := NewMLP(rng, 2, 16, 1)
+	target := func(x []float64) float64 { return x[0] - 0.5*x[1] }
+	var first, last float64
+	adamT := 0
+	for epoch := 0; epoch < 400; epoch++ {
+		m.ZeroGrad()
+		loss := 0.0
+		for b := 0; b < 16; b++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			y, cache := m.Forward(x)
+			d := y[0] - target(x)
+			loss += d * d
+			m.Backward(cache, []float64{2 * d})
+		}
+		adamT++
+		m.Step(1e-2, 16, adamT)
+		if epoch == 0 {
+			first = loss / 16
+		}
+		last = loss / 16
+	}
+	if last > first/10 {
+		t.Fatalf("loss did not drop: first %.4f last %.4f", first, last)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		logits := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			logits = append(logits, math.Mod(v, 50))
+		}
+		p := Softmax(logits)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	p := Softmax([]float64{1000, 1001, 999})
+	if math.IsNaN(p[0]) || p[1] < p[0] || p[1] < p[2] {
+		t.Fatalf("unstable softmax: %v", p)
+	}
+}
+
+func TestSampleCategoricalDistribution(t *testing.T) {
+	rng := xrand.New(5)
+	probs := []float64{0.1, 0.6, 0.3}
+	counts := make([]int, 3)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[SampleCategorical(probs, rng)]++
+	}
+	for i, p := range probs {
+		got := float64(counts[i]) / n
+		if math.Abs(got-p) > 0.02 {
+			t.Fatalf("arm %d frequency %.3f want %.3f", i, got, p)
+		}
+	}
+}
+
+func TestLogProbGradSumsToZero(t *testing.T) {
+	p := Softmax([]float64{0.5, -1, 2})
+	g := LogProbGrad(p, 1)
+	sum := 0.0
+	for _, v := range g {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("logprob grad sums to %g", sum)
+	}
+	if g[1] <= 0 {
+		t.Fatal("chosen action gradient must be positive")
+	}
+}
+
+func TestEntropyGradAtUniformIsZero(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	for _, v := range EntropyGrad(p) {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("entropy grad at uniform: %v", EntropyGrad(p))
+		}
+	}
+}
+
+func TestEntropyValues(t *testing.T) {
+	if h := Entropy([]float64{1, 0}); h != 0 {
+		t.Fatalf("deterministic entropy %f", h)
+	}
+	if h := Entropy([]float64{0.5, 0.5}); math.Abs(h-math.Log(2)) > 1e-12 {
+		t.Fatalf("uniform entropy %f", h)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 3, 2}) != 1 {
+		t.Fatal("argmax wrong")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	m := NewMLP(xrand.New(1), 3, 4, 2)
+	// 3*4+4 + 4*2+2 = 26
+	if m.NumParams() != 26 {
+		t.Fatalf("params %d want 26", m.NumParams())
+	}
+}
+
+func TestAdamStepReducesLoss(t *testing.T) {
+	rng := xrand.New(6)
+	l := NewLinear(1, 1, rng)
+	// Fit y = 3x.
+	for step := 1; step <= 500; step++ {
+		l.ZeroGrad()
+		x := []float64{rng.Float64()}
+		y := l.Forward(x)
+		d := y[0] - 3*x[0]
+		l.Backward(x, []float64{2 * d})
+		l.Step(5e-2, 1, step)
+	}
+	if math.Abs(l.W[0]-3) > 0.2 {
+		t.Fatalf("Adam did not converge: w=%f", l.W[0])
+	}
+}

@@ -1,0 +1,276 @@
+// Package rl implements the proximal-policy-optimization actor-critic used by
+// HARL's parameter-modification level (paper Section 4.3 and Appendix A.1).
+//
+// The actor is a shared MLP trunk with one categorical head per modification
+// subspace of Table 3 — tiling (num_iters² + 1 actions including the dummy),
+// compute-at, parallel-loops and auto-unroll (3 actions each) — so one joint
+// step selects a sub-action for every modification type, the dummy actions
+// making modification-type selection implicit. The critic is a separate value
+// MLP; its one-step temporal-difference error is the advantage function
+// (Eq. 6) that both drives the policy gradient (Eq. 5) and feeds the
+// adaptive-stopping module's track ranking.
+package rl
+
+import (
+	"math"
+
+	"harl/internal/nn"
+	"harl/internal/xrand"
+)
+
+// Config holds the PPO hyper-parameters; defaults are the paper's Table 5.
+type Config struct {
+	Hidden        int     // trunk / critic width
+	LrActor       float64 // 3e-4
+	LrCritic      float64 // 1e-3
+	Gamma         float64 // discount factor, 0.9
+	ClipEps       float64 // PPO clip range
+	WMSE          float64 // critic MSE loss weight, 0.5
+	WEntropy      float64 // entropy bonus weight, 0.01
+	TrainInterval int     // T_rl: train every this many environment steps, 2
+	MiniBatch     int     // samples per update
+	Epochs        int     // passes per update
+	BufferCap     int     // replay-buffer capacity
+}
+
+// DefaultConfig returns the paper's published parameters.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:        64,
+		LrActor:       3e-4,
+		LrCritic:      1e-3,
+		Gamma:         0.9,
+		ClipEps:       0.2,
+		WMSE:          0.5,
+		WEntropy:      0.01,
+		TrainInterval: 2,
+		MiniBatch:     64,
+		Epochs:        2,
+		BufferCap:     4096,
+	}
+}
+
+// Decision is the outcome of one policy query.
+type Decision struct {
+	Acts    []int   // one sub-action index per head
+	LogProb float64 // joint log-probability of the sampled sub-actions
+	Value   float64 // critic value of the state
+}
+
+// Transition is one recorded environment step (S, M, S', R, Y of Algorithm 1).
+type Transition struct {
+	State     []float64
+	Acts      []int
+	OldLogP   float64
+	Reward    float64
+	Value     float64 // V(s) at collection time
+	NextValue float64 // V(s') at collection time
+}
+
+// Advantage returns the one-step TD advantage (Eq. 6) of the transition.
+func (t Transition) Advantage(gamma float64) float64 {
+	return t.Reward + gamma*t.NextValue - t.Value
+}
+
+// Agent is a PPO actor-critic over a multi-head categorical action space.
+type Agent struct {
+	Cfg Config
+
+	trunk  *nn.MLP
+	heads  []*nn.Linear
+	critic *nn.MLP
+
+	buf    []Transition
+	bufPos int
+	full   bool
+
+	steps   int
+	adamT   int
+	updates int
+	rng     *xrand.RNG
+}
+
+// NewAgent builds an agent for the given state dimensionality and per-head
+// action counts.
+func NewAgent(stateDim int, headSizes []int, cfg Config, rng *xrand.RNG) *Agent {
+	a := &Agent{
+		Cfg:    cfg,
+		trunk:  nn.NewMLP(rng, stateDim, cfg.Hidden, cfg.Hidden),
+		critic: nn.NewMLP(rng, stateDim, cfg.Hidden, cfg.Hidden, 1),
+		rng:    rng,
+		buf:    make([]Transition, 0, cfg.BufferCap),
+	}
+	for _, hs := range headSizes {
+		a.heads = append(a.heads, nn.NewLinear(cfg.Hidden, hs, rng))
+	}
+	return a
+}
+
+// Updates returns the number of PPO updates performed so far.
+func (a *Agent) Updates() int { return a.updates }
+
+// forwardActor runs the trunk and heads, returning the hidden activation,
+// the trunk cache and per-head probability vectors.
+func (a *Agent) forwardActor(state []float64) ([]float64, *nn.Cache, [][]float64) {
+	z, cache := a.trunk.Forward(state)
+	h := make([]float64, len(z))
+	for i, v := range z {
+		h[i] = math.Tanh(v)
+	}
+	probs := make([][]float64, len(a.heads))
+	for k, head := range a.heads {
+		probs[k] = nn.Softmax(head.Forward(h))
+	}
+	return h, cache, probs
+}
+
+// Act samples one joint action from the current policy.
+func (a *Agent) Act(state []float64) Decision {
+	_, _, probs := a.forwardActor(state)
+	d := Decision{Acts: make([]int, len(probs))}
+	for k, p := range probs {
+		d.Acts[k] = nn.SampleCategorical(p, a.rng)
+		d.LogProb += nn.LogProb(p, d.Acts[k])
+	}
+	d.Value = a.Value(state)
+	return d
+}
+
+// GreedyAct returns the per-head argmax action (used for deterministic
+// evaluation, not during search).
+func (a *Agent) GreedyAct(state []float64) []int {
+	_, _, probs := a.forwardActor(state)
+	acts := make([]int, len(probs))
+	for k, p := range probs {
+		acts[k] = nn.ArgMax(p)
+	}
+	return acts
+}
+
+// Value returns the critic's estimate V(s).
+func (a *Agent) Value(state []float64) float64 {
+	v, _ := a.critic.Forward(state)
+	return v[0]
+}
+
+// Observe records a transition into the replay buffer.
+func (a *Agent) Observe(t Transition) {
+	if len(a.buf) < a.Cfg.BufferCap {
+		a.buf = append(a.buf, t)
+		return
+	}
+	a.buf[a.bufPos] = t
+	a.bufPos = (a.bufPos + 1) % a.Cfg.BufferCap
+	a.full = true
+}
+
+// BufferLen returns the number of stored transitions.
+func (a *Agent) BufferLen() int { return len(a.buf) }
+
+// Tick advances the environment-step counter and trains when the paper's
+// training interval T_rl elapses. It reports whether an update happened.
+func (a *Agent) Tick() bool {
+	a.steps++
+	if a.steps%a.Cfg.TrainInterval != 0 || len(a.buf) < 8 {
+		return false
+	}
+	a.Train()
+	return true
+}
+
+// Train performs one PPO update: Cfg.Epochs passes over minibatches sampled
+// from the replay buffer, with the clipped surrogate objective for the actor
+// (Eq. 5), MSE-to-TD-target for the critic and an entropy bonus.
+func (a *Agent) Train() {
+	n := len(a.buf)
+	if n == 0 {
+		return
+	}
+	batch := a.Cfg.MiniBatch
+	if batch > n {
+		batch = n
+	}
+	picks := make([]int, batch)
+	advs := make([]float64, batch)
+	for ep := 0; ep < a.Cfg.Epochs; ep++ {
+		a.trunk.ZeroGrad()
+		a.critic.ZeroGrad()
+		for _, h := range a.heads {
+			h.ZeroGrad()
+		}
+		// Sample the minibatch and normalize its advantages (zero mean, unit
+		// std) — the standard PPO variance-reduction step.
+		mean, sq := 0.0, 0.0
+		for b := range picks {
+			picks[b] = a.rng.Intn(n)
+			advs[b] = a.buf[picks[b]].Advantage(a.Cfg.Gamma)
+			mean += advs[b]
+			sq += advs[b] * advs[b]
+		}
+		mean /= float64(batch)
+		std := math.Sqrt(math.Max(sq/float64(batch)-mean*mean, 1e-12))
+		for b, i := range picks {
+			a.accumulate(a.buf[i], (advs[b]-mean)/std)
+		}
+		a.adamT++
+		a.trunk.Step(a.Cfg.LrActor, batch, a.adamT)
+		for _, h := range a.heads {
+			h.Step(a.Cfg.LrActor, batch, a.adamT)
+		}
+		a.critic.Step(a.Cfg.LrCritic, batch, a.adamT)
+	}
+	a.updates++
+}
+
+// accumulate adds the gradient contribution of one transition using the
+// batch-normalized advantage adv for the policy term.
+func (a *Agent) accumulate(t Transition, adv float64) {
+	// ----- critic: w_mse * (V(s) - (r + γ·V_old(s')))² ------------------------
+	target := t.Reward + a.Cfg.Gamma*t.NextValue
+	v, vc := a.critic.Forward(t.State)
+	dv := 2 * a.Cfg.WMSE * (v[0] - target)
+	a.critic.Backward(vc, []float64{dv})
+
+	// ----- actor: clipped surrogate + entropy bonus --------------------------
+	h, cache, probs := a.forwardActor(t.State)
+	newLogP := 0.0
+	for k, p := range probs {
+		newLogP += nn.LogProb(p, t.Acts[k])
+	}
+	ratio := math.Exp(clampF(newLogP-t.OldLogP, -20, 20))
+
+	// d(-min(r·A, clip(r)·A))/dlogπ = -A·r when the unclipped branch is
+	// active, 0 when the clip saturates against improvement.
+	gradScale := 0.0
+	if adv >= 0 && ratio < 1+a.Cfg.ClipEps {
+		gradScale = -adv * ratio
+	} else if adv < 0 && ratio > 1-a.Cfg.ClipEps {
+		gradScale = -adv * ratio
+	}
+	dh := make([]float64, len(h))
+	for k, head := range a.heads {
+		dlogits := nn.LogProbGrad(probs[k], t.Acts[k])
+		ent := nn.EntropyGrad(probs[k])
+		for i := range dlogits {
+			dlogits[i] = gradScale*dlogits[i] - a.Cfg.WEntropy*ent[i]
+		}
+		dhk := head.Backward(h, dlogits)
+		for i := range dh {
+			dh[i] += dhk[i]
+		}
+	}
+	for i := range dh {
+		dh[i] *= 1 - h[i]*h[i] // through the trunk-output tanh
+	}
+	a.trunk.Backward(cache, dh)
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,186 @@
+// Package search implements the tuning engines of the HARL reproduction:
+//
+//   - HARL's hierarchical adaptive RL search (sketch-level SW-UCB bandit,
+//     actor-critic parameter modification, adaptive-stopping track control,
+//     cost-model-guided top-K measurement) — Section 4 and 5 of the paper;
+//   - the Ansor baseline (uniform sketch selection + evolutionary search);
+//   - the Flextensor baseline (fixed sketch, fixed-length RL tracks);
+//   - the AutoTVM baseline (simulated annealing);
+//   - a pure random-sampling baseline used in tests and ablations.
+//
+// Engines operate on Tasks (one subgraph plus its sketches, cost model and
+// measurement accounting) one round at a time, measuring a fixed number of
+// candidates per round; the network-level subgraph selection loop lives in
+// internal/core.
+package search
+
+import (
+	"math"
+
+	"harl/internal/costmodel"
+	"harl/internal/hardware"
+	"harl/internal/schedule"
+	"harl/internal/sketch"
+	"harl/internal/texpr"
+	"harl/internal/xrand"
+)
+
+// Task is one tuning target: a subgraph bound to a platform, with its sketch
+// set, per-task cost model, measurement records and search bookkeeping.
+type Task struct {
+	Graph    *texpr.Subgraph
+	Sketches []*sketch.Sketch
+	Plat     *hardware.Platform
+	Meas     *hardware.Measurer
+	Cost     *costmodel.Model
+	RNG      *xrand.RNG
+
+	// Best measured schedule and its noisy execution time.
+	Best     *schedule.Schedule
+	BestExec float64
+
+	// Trials is the number of measurements charged to this task.
+	Trials int
+
+	// BestLog records the task-local best execution time after every trial,
+	// and TrialCost the global search-time at that trial (for time-to-target
+	// metrics in network tuning).
+	BestLog   []float64
+	TrialCost []float64
+
+	// TrackPositions collects, per finished schedule track, the relative
+	// position of the track's best-scoring step (the paper's "critical step"
+	// position: Fig. 1(c) and Fig. 7(b)).
+	TrackPositions []float64
+
+	measured map[uint64]bool
+}
+
+// NewTask builds a task with a fresh cost model and a split RNG stream. The
+// measurer may be shared across tasks of a network so search time accumulates
+// globally.
+func NewTask(g *texpr.Subgraph, plat *hardware.Platform, meas *hardware.Measurer, rng *xrand.RNG) *Task {
+	return &Task{
+		Graph:    g,
+		Sketches: sketch.Generate(g),
+		Plat:     plat,
+		Meas:     meas,
+		Cost:     costmodel.New(costmodel.DefaultParams()),
+		RNG:      rng,
+		BestExec: math.Inf(1),
+		measured: make(map[uint64]bool),
+	}
+}
+
+// NumUnroll returns the platform's unroll-candidate count for sampling.
+func (t *Task) NumUnroll() int { return len(t.Plat.UnrollDepths) }
+
+// RandomSchedule samples a random schedule of the given sketch.
+func (t *Task) RandomSchedule(sk *sketch.Sketch) *schedule.Schedule {
+	return schedule.NewRandom(sk, t.NumUnroll(), t.RNG)
+}
+
+// Seen reports whether an identical configuration was already measured.
+func (t *Task) Seen(s *schedule.Schedule) bool { return t.measured[s.Key()] }
+
+// MeasureBatch measures the given schedules (skipping already-measured
+// configurations), records them into the cost model training set, refits the
+// model, and updates the task's best. It returns the measured execution
+// times aligned with the input slice (NaN for skipped duplicates).
+func (t *Task) MeasureBatch(scheds []*schedule.Schedule) []float64 {
+	out := make([]float64, len(scheds))
+	measuredAny := false
+	for i, s := range scheds {
+		if s == nil || t.measured[s.Key()] {
+			out[i] = math.NaN()
+			continue
+		}
+		t.measured[s.Key()] = true
+		exec := t.Meas.Measure(s)
+		out[i] = exec
+		t.Trials++
+		if exec < t.BestExec {
+			t.BestExec = exec
+			t.Best = s
+		}
+		t.BestLog = append(t.BestLog, t.BestExec)
+		t.TrialCost = append(t.TrialCost, t.Meas.CostSec())
+		t.Cost.Add(s.Features(), math.Log(1/exec))
+		measuredAny = true
+	}
+	if measuredAny {
+		t.Cost.Refit()
+	}
+	return out
+}
+
+// Score returns the cost model's positive performance score C(s) for the
+// ratio-form reward; before the model is trained it returns 1 so rewards are
+// zero rather than arbitrary.
+func (t *Task) Score(s *schedule.Schedule) float64 {
+	if !t.Cost.Trained() {
+		return 1
+	}
+	t.Meas.AddSearchCost(hardware.CostModelQuerySec)
+	return t.Cost.Throughput(s.Features())
+}
+
+// BestPerf returns the best measured performance (1/exec), or 0 if nothing
+// has been measured yet.
+func (t *Task) BestPerf() float64 {
+	if math.IsInf(t.BestExec, 1) {
+		return 0
+	}
+	return 1 / t.BestExec
+}
+
+// WeightedBestExec returns w_n · g_n, the task's contribution to the
+// network-level objective (using the noise-free simulator time of the best
+// schedule; +Inf before any measurement).
+func (t *Task) WeightedBestExec() float64 {
+	if t.Best == nil {
+		return math.Inf(1)
+	}
+	return float64(t.Graph.Weight) * t.Meas.Sim.Exec(t.Best)
+}
+
+// TrialsToReach returns the task-local trial count after which the best
+// execution time first reached target (and whether it did).
+func (t *Task) TrialsToReach(target float64) (int, bool) {
+	for i, e := range t.BestLog {
+		if e <= target {
+			return i + 1, true
+		}
+	}
+	return t.Trials, false
+}
+
+// Engine is one parameter-search strategy operating round by round.
+type Engine interface {
+	// Name identifies the engine in experiment output.
+	Name() string
+	// RunRound performs one exploration round on the task and measures about
+	// measureK candidates. It returns the number of measurements performed.
+	RunRound(t *Task, measureK int) int
+}
+
+// Tune runs the engine on a single task until the measurement budget is
+// exhausted (the operator-level experiments of Section 6.2).
+func Tune(e Engine, t *Task, budgetTrials, measureK int) {
+	for t.Trials < budgetTrials {
+		k := measureK
+		if remaining := budgetTrials - t.Trials; k > remaining {
+			k = remaining
+		}
+		if e.RunRound(t, k) == 0 {
+			// The round produced nothing new (space exhausted or all
+			// duplicates); inject random exploration to make progress.
+			var batch []*schedule.Schedule
+			for i := 0; i < k; i++ {
+				sk := t.Sketches[t.RNG.Intn(len(t.Sketches))]
+				batch = append(batch, t.RandomSchedule(sk))
+			}
+			t.MeasureBatch(batch)
+		}
+	}
+}

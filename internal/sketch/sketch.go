@@ -1,0 +1,230 @@
+// Package sketch implements Ansor-style sketch generation (paper Table 2) over
+// texpr subgraphs. A sketch is the high-level structure of a tensor program —
+// which stage is multi-level tiled, which elementwise stages are fused
+// (inlined) into it, whether a cache-write stage is added, and whether the
+// reduction is factorized (rfactor) — leaving all low-level parameters (tile
+// sizes, compute-at position, parallel fusing, unrolling) open for the
+// parameter-search level of the hierarchy.
+//
+// The generation rules are the ones HARL adopts unchanged from Ansor:
+//
+//	Skip                skip any modification if not able to inline
+//	Inline              inline the function if it's possible
+//	Tiling              tile the loops if the function has data reuse
+//	Tiling with Fusion  tile the loops and fuse with the consumer if has data reuse
+//	Cache Write         cache the output if has data reuse but without any consumers
+//	rfactor             perform reduction factorization if has reduction parallelism
+//
+// Applying the rules differently yields the small discrete sketch set per
+// subgraph that the paper's sketch-selection MAB operates over (e.g. three
+// sketches for a matrix-multiplication subgraph).
+package sketch
+
+import (
+	"fmt"
+	"strings"
+
+	"harl/internal/texpr"
+)
+
+// Decision records which Table-2 rule was applied to a stage in a sketch.
+type Decision int
+
+const (
+	// Default leaves the stage as a plain loop nest (annotation-only tuning).
+	Default Decision = iota
+	// Inlined fuses the stage's computation into its consumer.
+	Inlined
+	// Tiled applies multi-level tiling to the stage (the main compute stage).
+	Tiled
+	// TiledFused applies multi-level tiling and fuses the elementwise
+	// consumer(s) into the tile ("Tiling with Fusion").
+	TiledFused
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Default:
+		return "default"
+	case Inlined:
+		return "inline"
+	case Tiled:
+		return "tile"
+	case TiledFused:
+		return "tile+fuse"
+	}
+	return fmt.Sprintf("Decision(%d)", int(d))
+}
+
+// SpatialLevels is the number of tiling levels applied to each spatial axis of
+// the tiled stage (the paper's GEMM search-space analysis uses 4 levels).
+const SpatialLevels = 4
+
+// ReduceLevels is the number of tiling levels applied to each reduction axis
+// (Ansor's SSRSRS structure splits reductions in two).
+const ReduceLevels = 2
+
+// Sketch is one structural variant of a subgraph's tensor program.
+type Sketch struct {
+	Graph     *texpr.Subgraph
+	ID        int        // index within the subgraph's generated sketch list
+	Decisions []Decision // one per stage
+	Main      int        // index of the multi-level-tiled stage
+	// CacheWrite adds a cache-write block for the main stage's output
+	// (Table 2: only when the stage has data reuse and no in-graph consumers).
+	CacheWrite bool
+	// RFactor factorizes the main stage's first reduction axis so its outer
+	// split can be parallelized.
+	RFactor bool
+}
+
+// NumSpatialAxes returns the spatial rank of the tiled stage.
+func (s *Sketch) NumSpatialAxes() int { return len(s.Graph.Stages[s.Main].Spatial) }
+
+// NumReduceAxes returns the reduction rank of the tiled stage.
+func (s *Sketch) NumReduceAxes() int { return len(s.Graph.Stages[s.Main].Reduce) }
+
+// NumTileLoops returns the total number of tiling loops — the size of the
+// paper's tile-modification index set (num_iters).
+func (s *Sketch) NumTileLoops() int {
+	return s.NumSpatialAxes()*SpatialLevels + s.NumReduceAxes()*ReduceLevels
+}
+
+// ComputeAtCandidates returns the number of legal compute-at positions for
+// the auxiliary block (cache-write buffer or fused consumer): the root plus
+// each spatial tiling level of the main loop nest. The compute-at modification
+// of Table 3 walks this candidate list with ±1 steps.
+func (s *Sketch) ComputeAtCandidates() int {
+	if !s.CacheWrite && !s.hasFusedConsumer() {
+		return 1
+	}
+	return SpatialLevels + 1
+}
+
+func (s *Sketch) hasFusedConsumer() bool {
+	for _, d := range s.Decisions {
+		if d == Inlined {
+			return true
+		}
+	}
+	return s.Decisions[s.Main] == TiledFused
+}
+
+// MainStage returns the tiled stage.
+func (s *Sketch) MainStage() *texpr.Stage { return s.Graph.Stages[s.Main] }
+
+// String renders a compact description, e.g. "tile+fuse[conv2d] inline[bias_relu] rfactor".
+func (s *Sketch) String() string {
+	var parts []string
+	for i, d := range s.Decisions {
+		if d == Default {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s[%s]", d, s.Graph.Stages[i].Name))
+	}
+	if s.CacheWrite {
+		parts = append(parts, "cache-write")
+	}
+	if s.RFactor {
+		parts = append(parts, "rfactor")
+	}
+	if len(parts) == 0 {
+		parts = []string{"default"}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Generate enumerates all sketches of a subgraph by rule application. The
+// result is deterministic and non-empty; sketch 0 is always the plain
+// structure (tiling without cache-write/rfactor where applicable).
+func Generate(g *texpr.Subgraph) []*Sketch {
+	main := g.MainStage()
+	mainStage := g.Stages[main]
+
+	// Decide the fate of every non-main stage first. Elementwise stages that
+	// (transitively) consume the main stage can either be inlined into the
+	// tile (Tiling with Fusion) or left as standalone passes; per the Inline
+	// rule, stages that can inline always offer the inline option.
+	type stageChoice struct {
+		idx     int
+		options []Decision
+	}
+	var choices []stageChoice
+	for i, st := range g.Stages {
+		if i == main {
+			continue
+		}
+		var opts []Decision
+		if st.CanInline && st.Kind == texpr.Elementwise && len(g.Producers(i)) > 0 {
+			opts = []Decision{Inlined, Default}
+		} else {
+			// Skip rule: not able to inline — no structural modification.
+			opts = []Decision{Default}
+		}
+		choices = append(choices, stageChoice{i, opts})
+	}
+
+	// Main-stage structural variants.
+	type mainVariant struct {
+		cacheWrite, rfactor bool
+	}
+	variants := []mainVariant{{false, false}}
+	if mainStage.HasDataReuse && len(g.Consumers(main)) == 0 {
+		variants = append(variants, mainVariant{cacheWrite: true})
+	}
+	if mainStage.HasReductionParallel && len(mainStage.Reduce) > 0 {
+		variants = append(variants, mainVariant{rfactor: true})
+	}
+
+	var sketches []*Sketch
+	var rec func(ci int, decs []Decision)
+	rec = func(ci int, decs []Decision) {
+		if ci == len(choices) {
+			for _, v := range variants {
+				sk := &Sketch{
+					Graph:      g,
+					Decisions:  append([]Decision(nil), decs...),
+					Main:       main,
+					CacheWrite: v.cacheWrite,
+					RFactor:    v.rfactor,
+				}
+				if anyInlined(sk.Decisions) && mainStage.HasDataReuse {
+					sk.Decisions[main] = TiledFused
+				} else {
+					sk.Decisions[main] = Tiled
+				}
+				sketches = append(sketches, sk)
+			}
+			return
+		}
+		for _, opt := range choices[ci].options {
+			decs[choices[ci].idx] = opt
+			rec(ci+1, decs)
+		}
+	}
+	rec(0, make([]Decision, len(g.Stages)))
+
+	// Deduplicate (different inline combinations can collapse to the same
+	// structure when a stage has no inline option) and assign IDs.
+	seen := map[string]bool{}
+	out := sketches[:0]
+	for _, sk := range sketches {
+		key := sk.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sk.ID = len(out)
+		out = append(out, sk)
+	}
+	return out
+}
+
+func anyInlined(decs []Decision) bool {
+	for _, d := range decs {
+		if d == Inlined {
+			return true
+		}
+	}
+	return false
+}

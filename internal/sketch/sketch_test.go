@@ -1,0 +1,158 @@
+package sketch
+
+import (
+	"testing"
+
+	"harl/internal/workload"
+)
+
+// The paper states a matrix-multiplication subgraph has 3 sketches:
+// plain tiling, tiling + cache write, tiling + rfactor.
+func TestGEMMSketchCount(t *testing.T) {
+	g := workload.GEMM("g", 1, 512, 512, 512)
+	sks := Generate(g)
+	if len(sks) != 3 {
+		t.Fatalf("GEMM sketches = %d, paper says 3", len(sks))
+	}
+	var plain, cacheWrite, rfactor int
+	for _, sk := range sks {
+		switch {
+		case sk.CacheWrite:
+			cacheWrite++
+		case sk.RFactor:
+			rfactor++
+		default:
+			plain++
+		}
+	}
+	if plain != 1 || cacheWrite != 1 || rfactor != 1 {
+		t.Fatalf("variants plain=%d cw=%d rf=%d", plain, cacheWrite, rfactor)
+	}
+}
+
+func TestConvReLUSketchesIncludeFusion(t *testing.T) {
+	g := workload.Conv2DReLU("c", 1, 1, 56, 56, 64, 64, 3, 1, 1)
+	sks := Generate(g)
+	if len(sks) < 2 {
+		t.Fatalf("conv+relu sketches = %d", len(sks))
+	}
+	fused, unfused := false, false
+	for _, sk := range sks {
+		if sk.Decisions[sk.Main] == TiledFused {
+			fused = true
+		} else {
+			unfused = true
+		}
+		// Cache write requires no consumers; the conv has one.
+		if sk.CacheWrite {
+			t.Fatal("cache write generated for a stage with consumers")
+		}
+	}
+	if !fused || !unfused {
+		t.Fatalf("need both fused and unfused variants (fused=%v unfused=%v)", fused, unfused)
+	}
+}
+
+func TestSoftmaxSketches(t *testing.T) {
+	g := workload.Softmax("s", 1536, 128)
+	sks := Generate(g)
+	if len(sks) < 2 {
+		t.Fatalf("softmax sketches = %d", len(sks))
+	}
+	hasRFactor := false
+	for _, sk := range sks {
+		if sk.RFactor {
+			hasRFactor = true
+		}
+	}
+	if !hasRFactor {
+		t.Fatal("softmax reduce stage should offer an rfactor sketch")
+	}
+}
+
+func TestElementwiseSingleSketch(t *testing.T) {
+	g := workload.Elementwise("e", 4096, 2, 1)
+	sks := Generate(g)
+	if len(sks) != 1 {
+		t.Fatalf("standalone elementwise sketches = %d want 1", len(sks))
+	}
+	if sks[0].CacheWrite || sks[0].RFactor {
+		t.Fatal("elementwise must not get cache-write/rfactor")
+	}
+}
+
+func TestSketchIDsSequential(t *testing.T) {
+	g := workload.Conv2DReLU("c", 1, 1, 14, 14, 256, 256, 3, 1, 1)
+	for i, sk := range Generate(g) {
+		if sk.ID != i {
+			t.Fatalf("sketch %d has ID %d", i, sk.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := workload.GEMMEpilogue("ge", 1, 128, 128, 128, 4)
+	a, b := Generate(g), Generate(g)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic sketch count")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("sketch %d differs across runs", i)
+		}
+	}
+}
+
+func TestNumTileLoops(t *testing.T) {
+	g := workload.GEMM("g", 1, 256, 256, 256)
+	sk := Generate(g)[0]
+	// 2 spatial axes × 4 levels + 1 reduction axis × 2 levels = 10.
+	if got := sk.NumTileLoops(); got != 10 {
+		t.Fatalf("tile loops %d want 10", got)
+	}
+	c3d := workload.Conv3D("c", 1, 16, 14, 14, 256, 256, 3, 1, 1)
+	sk3 := Generate(c3d)[0]
+	// 5 spatial × 4 + 4 reduce × 2 = 28.
+	if got := sk3.NumTileLoops(); got != 28 {
+		t.Fatalf("c3d tile loops %d want 28", got)
+	}
+}
+
+func TestComputeAtCandidates(t *testing.T) {
+	gemm := Generate(workload.GEMM("g", 1, 128, 128, 128))
+	for _, sk := range gemm {
+		want := 1
+		if sk.CacheWrite {
+			want = SpatialLevels + 1
+		}
+		if sk.RFactor && !sk.CacheWrite {
+			want = 1
+		}
+		if got := sk.ComputeAtCandidates(); got != want {
+			t.Fatalf("sketch %q compute-at candidates %d want %d", sk, got, want)
+		}
+	}
+	fused := Generate(workload.Conv2DReLU("c", 1, 1, 28, 28, 128, 128, 3, 1, 1))
+	foundFused := false
+	for _, sk := range fused {
+		if sk.Decisions[sk.Main] == TiledFused {
+			foundFused = true
+			if sk.ComputeAtCandidates() != SpatialLevels+1 {
+				t.Fatal("fused sketch must expose compute-at positions")
+			}
+		}
+	}
+	if !foundFused {
+		t.Fatal("no fused sketch found")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{
+		Default: "default", Inlined: "inline", Tiled: "tile", TiledFused: "tile+fuse",
+	} {
+		if d.String() != want {
+			t.Fatalf("%v string %q", int(d), d.String())
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2), 1e-12) {
+		t.Fatalf("std = %f", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary N=%d", s.N)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := Quantile(sorted, 0.5); q != 5 {
+		t.Fatalf("median of {0,10} = %f", q)
+	}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Fatalf("q0 = %f", q)
+	}
+	if q := Quantile(sorted, 1); q != 10 {
+		t.Fatalf("q1 = %f", q)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // under
+	h.Add(11) // over
+	if h.Total() != 10 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over %d/%d", h.Under, h.Over)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count %d", i, c)
+		}
+	}
+	if f := h.Fraction(0, 5); f != 0.5 {
+		t.Fatalf("fraction %f", f)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0.1)
+	h.Add(0.1)
+	h.Add(0.6)
+	out := h.Render(10)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if r := Pearson(xs, ys); !almost(r, 1, 1e-12) {
+		t.Fatalf("pearson %f", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almost(r, -1, 1e-12) {
+		t.Fatalf("pearson %f", r)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if r := Spearman(xs, ys); !almost(r, 1, 1e-12) {
+		t.Fatalf("spearman %f", r)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks %v want %v", r, want)
+		}
+	}
+}
+
+func TestNormalizeMax(t *testing.T) {
+	out := NormalizeMax([]float64{2, 4, 8})
+	if out[2] != 1 || out[0] != 0.25 {
+		t.Fatalf("normalize %v", out)
+	}
+	// All-zero input unchanged.
+	z := NormalizeMax([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("zero normalize %v", z)
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if ArgMin(xs) != 1 || ArgMax(xs) != 0 {
+		t.Fatalf("argmin/argmax wrong")
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("empty args should be -1")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !almost(g, 2, 1e-12) {
+		t.Fatalf("geomean %f", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("geomean of negative should be NaN")
+	}
+}
+
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		// min ≤ p25 ≤ p50 ≤ p75 ≤ max must always hold.
+		return s.Min <= s.P25 && s.P25 <= s.P50 && s.P50 <= s.P75 && s.P75 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"testing"
+
+	"harl/internal/texpr"
+)
+
+func TestGEMMShape(t *testing.T) {
+	g := GEMM("g", 1, 128, 64, 32)
+	if len(g.Stages) != 1 {
+		t.Fatalf("stages %d", len(g.Stages))
+	}
+	st := g.Stages[0]
+	if got, want := st.FLOPs(), float64(2*128*64*32); got != want {
+		t.Fatalf("flops %g want %g", got, want)
+	}
+	if !st.HasDataReuse || !st.HasReductionParallel {
+		t.Fatal("GEMM capability flags wrong")
+	}
+}
+
+func TestGEMMBatchAddsAxis(t *testing.T) {
+	g1 := GEMM("g1", 1, 64, 64, 64)
+	g16 := GEMM("g16", 16, 64, 64, 64)
+	if len(g16.Stages[0].Spatial) != len(g1.Stages[0].Spatial)+1 {
+		t.Fatal("batch axis missing")
+	}
+	if g16.FLOPs() != 16*g1.FLOPs() {
+		t.Fatal("batch FLOPs should scale linearly")
+	}
+}
+
+func TestConvOutputSizes(t *testing.T) {
+	// (224+2*3-7)/2+1 = 112
+	c := Conv2D("c", 1, 224, 224, 3, 64, 7, 2, 3)
+	st := c.Stages[0]
+	if st.Spatial[1].Extent != 112 || st.Spatial[2].Extent != 112 {
+		t.Fatalf("conv output %dx%d", st.Spatial[1].Extent, st.Spatial[2].Extent)
+	}
+	if st.Spatial[3].Extent != 64 {
+		t.Fatalf("cout %d", st.Spatial[3].Extent)
+	}
+	if len(st.Reduce) != 3 {
+		t.Fatalf("conv2d reduce axes %d", len(st.Reduce))
+	}
+}
+
+func TestConvT2DUpsamples(t *testing.T) {
+	// (4-1)*2 - 2 + 4 = 8
+	g := ConvT2D("t", 1, 4, 4, 512, 256, 4, 2, 1)
+	st := g.Stages[0]
+	if st.Spatial[1].Extent != 8 {
+		t.Fatalf("t2d output %d want 8", st.Spatial[1].Extent)
+	}
+}
+
+func TestDepthwiseNoChannelReduce(t *testing.T) {
+	g := DepthwiseConv2D("dw", 1, 56, 56, 64, 3, 1, 1)
+	st := g.Stages[0]
+	if len(st.Reduce) != 2 {
+		t.Fatalf("depthwise reduce axes %d want 2 (kernel only)", len(st.Reduce))
+	}
+}
+
+func TestSoftmaxTwoStages(t *testing.T) {
+	g := Softmax("s", 128, 128)
+	if len(g.Stages) != 2 {
+		t.Fatalf("softmax stages %d", len(g.Stages))
+	}
+	if g.Stages[0].Kind != texpr.ReduceLight || g.Stages[1].Kind != texpr.Elementwise {
+		t.Fatal("softmax stage kinds wrong")
+	}
+	if got := g.Consumers(0); len(got) != 1 {
+		t.Fatal("norm stage must consume reduce stage")
+	}
+}
+
+func TestGEMMEpilogueFusion(t *testing.T) {
+	g := GEMMEpilogue("ge", 1, 64, 64, 64, 4)
+	if len(g.Stages) != 2 {
+		t.Fatalf("stages %d", len(g.Stages))
+	}
+	if !g.Stages[1].CanInline {
+		t.Fatal("epilogue must be inlinable")
+	}
+	if g.MainStage() != 0 {
+		t.Fatal("matmul must dominate FLOPs")
+	}
+}
+
+func TestTable6Complete(t *testing.T) {
+	cfgs := Table6()
+	if len(cfgs) != 28 {
+		t.Fatalf("Table 6 has %d configs, want 7 categories × 4", len(cfgs))
+	}
+	perCat := map[string]int{}
+	for _, c := range cfgs {
+		perCat[c.Category]++
+		for _, batch := range []int{1, 16} {
+			sg := c.Build(batch)
+			if sg.FLOPs() <= 0 {
+				t.Fatalf("%s %v: non-positive FLOPs", c.Category, c.Params)
+			}
+			for _, st := range sg.Stages {
+				if err := st.Validate(); err != nil {
+					t.Fatalf("%s %v: %v", c.Category, c.Params, err)
+				}
+			}
+		}
+	}
+	for _, cat := range OperatorCategories() {
+		if perCat[cat] != 4 {
+			t.Fatalf("category %s has %d configs", cat, perCat[cat])
+		}
+	}
+}
+
+func TestSuiteFor(t *testing.T) {
+	if got := len(SuiteFor("GEMM-L", 1)); got != 4 {
+		t.Fatalf("GEMM-L suite %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown category should panic")
+		}
+	}()
+	SuiteFor("NOPE", 1)
+}
+
+func TestBERTInventory(t *testing.T) {
+	net := BERT(1)
+	if got := net.DistinctSubgraphs(); got != 10 {
+		t.Fatalf("BERT distinct subgraphs %d, paper says 10", got)
+	}
+	// The four projection/FF GEMMs must dominate total FLOPs (the paper's
+	// Table 4 attributes 87%+ to the top five subgraphs).
+	var gemmFLOPs, total float64
+	for _, sg := range net.Subgraphs {
+		w := float64(sg.Weight) * sg.FLOPs()
+		total += w
+		switch sg.Name {
+		case "GEMM-I", "GEMM-II", "GEMM-III", "GEMM-IV":
+			gemmFLOPs += w
+		}
+	}
+	if gemmFLOPs/total < 0.8 {
+		t.Fatalf("GEMM share %.2f, want > 0.8", gemmFLOPs/total)
+	}
+	// Q/K/V projection appears 3× per layer.
+	if net.Subgraphs[0].Weight != 36 {
+		t.Fatalf("GEMM-I weight %d want 36", net.Subgraphs[0].Weight)
+	}
+}
+
+func TestResNet50Inventory(t *testing.T) {
+	net := ResNet50(1)
+	if got := net.DistinctSubgraphs(); got != 24 {
+		t.Fatalf("ResNet-50 distinct subgraphs %d, paper says 24", got)
+	}
+	for _, sg := range net.Subgraphs {
+		if sg.Weight < 1 {
+			t.Fatalf("%s weight %d", sg.Name, sg.Weight)
+		}
+	}
+}
+
+func TestMobileNetV2Inventory(t *testing.T) {
+	net := MobileNetV2(1)
+	if got := net.DistinctSubgraphs(); got != 21 {
+		t.Fatalf("MobileNet-V2 distinct subgraphs %d want 21", got)
+	}
+}
+
+func TestNetworksBatchScaling(t *testing.T) {
+	for _, mk := range []func(int) *Network{BERT, ResNet50, MobileNetV2} {
+		n1, n16 := mk(1), mk(16)
+		var f1, f16 float64
+		for i := range n1.Subgraphs {
+			f1 += float64(n1.Subgraphs[i].Weight) * n1.Subgraphs[i].FLOPs()
+			f16 += float64(n16.Subgraphs[i].Weight) * n16.Subgraphs[i].FLOPs()
+		}
+		if f16 < 10*f1 {
+			t.Fatalf("%s: batch-16 work only %.1fx batch-1", n1.Name, f16/f1)
+		}
+	}
+}
+
+func TestNetworkTrialBudget(t *testing.T) {
+	if NetworkTrialBudget("BERT-b1") != 12000 ||
+		NetworkTrialBudget("ResNet50-b1") != 22000 ||
+		NetworkTrialBudget("MobileNetV2-b16") != 16000 {
+		t.Fatal("paper budgets wrong")
+	}
+	if NetworkTrialBudget("other") != 10000 {
+		t.Fatal("default budget wrong")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	net := BERT(1)
+	want := 0
+	for _, sg := range net.Subgraphs {
+		want += sg.Weight
+	}
+	if net.TotalWeight() != want {
+		t.Fatal("TotalWeight mismatch")
+	}
+}

@@ -1,0 +1,215 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child stream must differ from the parent's continuation.
+	diff := false
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() != child.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("split stream mirrors parent stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(9)
+	const n, trials = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %f out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %f too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %f too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := New(17)
+	weights := []float64{0, 1, 0, 3}
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[r.Choice(weights)]++
+	}
+	if counts[0] != 0 || counts[2] != 0 {
+		t.Fatalf("zero-weight arms selected: %v", counts)
+	}
+	ratio := float64(counts[3]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %f, want ≈3", ratio)
+	}
+}
+
+func TestChoiceZeroWeightsFallsBack(t *testing.T) {
+	r := New(19)
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[r.Choice([]float64{0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("uniform fallback never chose arm %d", i)
+		}
+	}
+}
+
+func TestChoicePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	New(1).Choice([]float64{1, -1})
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2, 3) != Hash64(1, 2, 3) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 2, 3) == Hash64(1, 2, 4) {
+		t.Fatal("Hash64 collision on trivially different input")
+	}
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Fatal("Hash64 must be order-sensitive")
+	}
+}
+
+func TestHashUnitRange(t *testing.T) {
+	f := func(a, b uint64) bool {
+		u := HashUnit(a, b)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 21 {
+		t.Fatalf("shuffle altered elements: %v", xs)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(29)
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.25) {
+			n++
+		}
+	}
+	if n < 2200 || n > 2800 {
+		t.Fatalf("Bool(0.25) fired %d/10000", n)
+	}
+}
