@@ -1,0 +1,30 @@
+# Standard verification gate for the HARL reproduction.
+#
+#   make        — vet + build + unit tests
+#   make race   — the full suite under the race detector (the merge gate for
+#                 anything touching the concurrent tuning engine)
+#   make bench  — one pass over every experiment benchmark
+#   make check  — everything: vet, build, tests, race
+
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+check: vet build test race

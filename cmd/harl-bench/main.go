@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "random seed (0 = preset default)")
 	configs := flag.Int("configs", 0, "Table-6 configurations per operator category, 1..4 (0 = preset default)")
 	full := flag.Bool("full", false, "use the paper-scale preset (hours of runtime)")
+	workers := flag.Int("workers", 0, "tuning worker pool size (0 = preset default, -1 = all CPU cores); outputs are identical for every worker count")
 	flag.Parse()
 
 	cfg := harl.ExperimentConfig{
@@ -32,6 +33,7 @@ func main() {
 		OperatorBudget:     *budget,
 		NetworkBudgetScale: *scale,
 		ConfigsPerCategory: *configs,
+		Workers:            *workers,
 		Full:               *full,
 	}
 

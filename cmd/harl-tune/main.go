@@ -27,13 +27,14 @@ func main() {
 	scheduler := flag.String("scheduler", "harl", "scheduler preset: "+strings.Join(harl.Schedulers(), ", "))
 	trials := flag.Int("trials", 320, "measurement-trial budget")
 	seed := flag.Uint64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "tuning worker pool size: 0 = the legacy serial tuner (default), N >= 1 = the concurrent scheduler with N workers (identical results for every N), -1 = all CPU cores")
 	flag.Parse()
 
 	tgt, err := harl.TargetByName(*target)
 	if err != nil {
 		fatal(err)
 	}
-	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed}
+	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed, Workers: *workers}
 
 	if *network != "" {
 		res, err := harl.TuneNetwork(*network, *batch, tgt, opts)

@@ -1,0 +1,3 @@
+module harl
+
+go 1.24

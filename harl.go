@@ -169,6 +169,15 @@ type Options struct {
 	MeasureK int
 	// Seed makes the run reproducible (default 1).
 	Seed uint64
+	// Workers sizes the tuning worker pool; < 0 selects runtime.NumCPU().
+	//
+	// For TuneOperator, any worker count (including the 0/1 serial default)
+	// produces byte-identical results — workers only cut wall-clock time.
+	// For TuneNetwork, Workers >= 1 selects the concurrent multi-task
+	// scheduler, whose results are likewise identical for every worker
+	// count; Workers == 0 (the default) keeps the legacy round-sequential
+	// network tuner with its SW-UCB subgraph bandit.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -212,7 +221,11 @@ func TuneOperator(w Workload, t Target, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res := core.TuneOperator(w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed)
+	workers := o.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	res := core.TuneOperatorWorkers(w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed, workers)
 	out := Result{
 		Scheduler:     o.Scheduler,
 		ExecSeconds:   res.BestExec,
@@ -263,6 +276,30 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 	default:
 		return NetworkResult{}, fmt.Errorf("harl: unknown network %q", name)
 	}
+	if o.Workers != 0 {
+		pnt, err := core.NewParallelNetworkTuner(net, t.plat, o.Scheduler, o.MeasureK, o.Seed, o.Workers)
+		if err != nil {
+			return NetworkResult{}, err
+		}
+		pnt.Run(o.Trials)
+		out := NetworkResult{
+			Network:          net.Name,
+			EstimatedSeconds: pnt.EstimatedExec(),
+			MeasuredSeconds:  pnt.MeasuredExec(),
+			Trials:           pnt.Trials(),
+			SearchSeconds:    pnt.CostSec(),
+		}
+		for i, b := range pnt.Breakdown() {
+			out.Breakdown = append(out.Breakdown, SubgraphReport{
+				Name:         b.Name,
+				Weight:       b.Weight,
+				ExecSeconds:  b.BestExec,
+				Contribution: b.Contribution,
+				Trials:       pnt.MT.Tasks[i].Trials,
+			})
+		}
+		return out, nil
+	}
 	sched, err := core.NewScheduler(o.Scheduler)
 	if err != nil {
 		return NetworkResult{}, err
@@ -298,7 +335,11 @@ type ExperimentConfig struct {
 	Batches            []int
 	NetworkBudgetScale float64
 	NetworkPlatforms   []string
-	Full               bool
+	// Workers sizes the tuning worker pool used inside every experiment
+	// (< 0 selects runtime.NumCPU()). Experiment outputs are byte-identical
+	// for every worker count; workers only cut wall-clock time.
+	Workers int
+	Full    bool
 }
 
 func (c ExperimentConfig) resolve() experiments.Config {
@@ -326,6 +367,9 @@ func (c ExperimentConfig) resolve() experiments.Config {
 	}
 	if len(c.NetworkPlatforms) > 0 {
 		base.NetworkPlatforms = c.NetworkPlatforms
+	}
+	if c.Workers != 0 {
+		base.Workers = c.Workers
 	}
 	return base
 }

@@ -198,3 +198,86 @@ func TestExperimentConfigResolve(t *testing.T) {
 		t.Fatalf("full preset broken: %+v", full)
 	}
 }
+
+// Worker count must never change TuneOperator results: trial evaluation and
+// cost-model scoring are order-independent, and all bookkeeping commits in
+// input order.
+func TestTuneOperatorWorkerCountInvariant(t *testing.T) {
+	w := GEMM(256, 256, 256, 1)
+	base := Options{Scheduler: "harl", Trials: 64, Seed: 3}
+	serial, err := TuneOperator(w, CPU(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		o := base
+		o.Workers = workers
+		res, err := TuneOperator(w, CPU(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExecSeconds != serial.ExecSeconds || res.SearchSeconds != serial.SearchSeconds ||
+			res.BestSchedule != serial.BestSchedule || res.Trials != serial.Trials {
+			t.Fatalf("workers=%d diverged from serial: %+v vs %+v", workers, res, serial)
+		}
+		for i, v := range serial.BestLog {
+			if res.BestLog[i] != v {
+				t.Fatalf("workers=%d: best log entry %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+// The concurrent network scheduler's determinism contract at the public API:
+// same seed, workers=1 vs workers=8, identical outcome.
+func TestTuneNetworkWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) NetworkResult {
+		res, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "harl", Trials: 330, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if serial.EstimatedSeconds != parallel.EstimatedSeconds ||
+		serial.MeasuredSeconds != parallel.MeasuredSeconds ||
+		serial.Trials != parallel.Trials ||
+		serial.SearchSeconds != parallel.SearchSeconds {
+		t.Fatalf("workers=1 vs 8 diverged:\n%+v\n%+v", serial, parallel)
+	}
+	for i := range serial.Breakdown {
+		if serial.Breakdown[i] != parallel.Breakdown[i] {
+			t.Fatalf("breakdown row %d diverged: %+v vs %+v", i, serial.Breakdown[i], parallel.Breakdown[i])
+		}
+	}
+}
+
+// The parallel network path must keep the serial path's result invariants.
+func TestTuneNetworkParallelResultShape(t *testing.T) {
+	res, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "random", Trials: 330, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.EstimatedSeconds, 1) || res.EstimatedSeconds <= 0 {
+		t.Fatalf("estimated %g", res.EstimatedSeconds)
+	}
+	if res.MeasuredSeconds <= res.EstimatedSeconds {
+		t.Fatal("measured must exceed estimated (communication overhead)")
+	}
+	if len(res.Breakdown) != 10 {
+		t.Fatalf("BERT breakdown rows %d", len(res.Breakdown))
+	}
+	sum := 0.0
+	for _, b := range res.Breakdown {
+		sum += b.Contribution
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("contributions sum %f", sum)
+	}
+	if res.Trials < 330 {
+		t.Fatalf("budget not exhausted: %d", res.Trials)
+	}
+	if _, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "nope", Workers: 2}); err == nil {
+		t.Fatal("unknown scheduler must error on the parallel path")
+	}
+}

@@ -56,28 +56,42 @@ type Scheduler struct {
 	Policy TaskPolicy
 }
 
+// EngineFactory returns a constructor for the preset's search engine plus
+// its subgraph-selection policy. The factory builds a fresh engine per call:
+// engine state is keyed per task and must never be shared across goroutines,
+// so concurrent tuners (search.MultiTuner) instantiate one engine per task.
+func EngineFactory(name string) (func() search.Engine, TaskPolicy, error) {
+	switch name {
+	case "harl":
+		return func() search.Engine { return search.NewHARL(search.DefaultHARLConfig()) }, PolicySWUCB, nil
+	case "hierarchical-rl":
+		return func() search.Engine {
+			cfg := search.DefaultHARLConfig()
+			cfg.AdaptiveStopping = false
+			return search.NewHARL(cfg)
+		}, PolicySWUCB, nil
+	case "harl-nomab":
+		return func() search.Engine { return search.NewHARL(search.DefaultHARLConfig()) }, PolicyGreedyGradient, nil
+	case "ansor":
+		return func() search.Engine { return search.NewAnsor(search.DefaultAnsorConfig()) }, PolicyGreedyGradient, nil
+	case "flextensor":
+		return func() search.Engine { return search.NewFlextensor(search.DefaultFlextensorConfig()) }, PolicyRoundRobin, nil
+	case "autotvm":
+		return func() search.Engine { return search.NewAutoTVM(search.DefaultAutoTVMConfig()) }, PolicyGreedyGradient, nil
+	case "random":
+		return func() search.Engine { return search.NewRandom() }, PolicyRoundRobin, nil
+	}
+	return nil, 0, fmt.Errorf("core: unknown scheduler %q", name)
+}
+
 // NewScheduler builds a fresh scheduler preset by name. Engines carry
 // per-task state, so every tuning run should use a new instance.
 func NewScheduler(name string) (*Scheduler, error) {
-	switch name {
-	case "harl":
-		return &Scheduler{Name: name, Engine: search.NewHARL(search.DefaultHARLConfig()), Policy: PolicySWUCB}, nil
-	case "hierarchical-rl":
-		cfg := search.DefaultHARLConfig()
-		cfg.AdaptiveStopping = false
-		return &Scheduler{Name: name, Engine: search.NewHARL(cfg), Policy: PolicySWUCB}, nil
-	case "harl-nomab":
-		return &Scheduler{Name: name, Engine: search.NewHARL(search.DefaultHARLConfig()), Policy: PolicyGreedyGradient}, nil
-	case "ansor":
-		return &Scheduler{Name: name, Engine: search.NewAnsor(search.DefaultAnsorConfig()), Policy: PolicyGreedyGradient}, nil
-	case "flextensor":
-		return &Scheduler{Name: name, Engine: search.NewFlextensor(search.DefaultFlextensorConfig()), Policy: PolicyRoundRobin}, nil
-	case "autotvm":
-		return &Scheduler{Name: name, Engine: search.NewAutoTVM(search.DefaultAutoTVMConfig()), Policy: PolicyGreedyGradient}, nil
-	case "random":
-		return &Scheduler{Name: name, Engine: search.NewRandom(), Policy: PolicyRoundRobin}, nil
+	mk, policy, err := EngineFactory(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("core: unknown scheduler %q", name)
+	return &Scheduler{Name: name, Engine: mk(), Policy: policy}, nil
 }
 
 // MustScheduler is NewScheduler that panics on unknown names.
@@ -110,10 +124,21 @@ type OperatorResult struct {
 // TuneOperator runs a scheduler preset on a single subgraph with the given
 // measurement budget, measuring measureK candidates per round.
 func TuneOperator(sg *texpr.Subgraph, plat *hardware.Platform, sched *Scheduler, budget, measureK int, seed uint64) *OperatorResult {
+	return TuneOperatorWorkers(sg, plat, sched, budget, measureK, seed, 1)
+}
+
+// TuneOperatorWorkers is TuneOperator with intra-round parallelism: trial
+// evaluation and cost-model scoring fan out across a pool of the given width
+// (<= 0 selects runtime.NumCPU()). Results are byte-identical for every
+// worker count; only wall-clock time changes.
+func TuneOperatorWorkers(sg *texpr.Subgraph, plat *hardware.Platform, sched *Scheduler, budget, measureK int, seed uint64, workers int) *OperatorResult {
 	rng := xrand.New(seed)
 	sim := hardware.NewSimulator(plat)
 	meas := hardware.NewMeasurer(sim, rng.Split())
 	task := search.NewTask(sg, plat, meas, rng.Split())
+	if workers != 1 {
+		task.Pool = search.NewParallelPool(workers)
+	}
 	search.Tune(sched.Engine, task, budget, measureK)
 
 	res := &OperatorResult{

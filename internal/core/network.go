@@ -83,6 +83,17 @@ func NewNetworkTuner(net *workload.Network, plat *hardware.Platform, sched *Sche
 // Trials returns the cumulative number of measurements across all tasks.
 func (nt *NetworkTuner) Trials() int { return nt.Meas.Trials() }
 
+// SetWorkers gives every task a shared worker pool for intra-round
+// parallelism (trial evaluation and cost-model scoring). Rounds stay
+// sequential across tasks, and results are byte-identical for every worker
+// count.
+func (nt *NetworkTuner) SetWorkers(n int) {
+	pool := search.NewParallelPool(n)
+	for _, t := range nt.Tasks {
+		t.Pool = pool
+	}
+}
+
 // EstimatedExec returns Σ w_n·g_n, the estimated end-to-end execution time
 // (+Inf until every subgraph has at least one measured schedule).
 func (nt *NetworkTuner) EstimatedExec() float64 {
@@ -116,51 +127,11 @@ func (nt *NetworkTuner) TaskTrials() []int {
 	return out
 }
 
-// gradientEstimate computes the Eq. 3 benefit score of optimizing task a next
-// (larger = more expected end-to-end gain). The first term is the recent
-// measured improvement slope of the task's weighted execution time; the
-// second is Ansor's optimistic potential: the task can either keep its
-// historical halving pace (g/t) or approach β× the best throughput achieved
-// by similar subgraphs.
+// gradientEstimate computes the Eq. 3 benefit score of optimizing task a
+// next (larger = more expected end-to-end gain); the computation is shared
+// with the concurrent tuner (search.GradientEstimate).
 func (nt *NetworkTuner) gradientEstimate(a int) float64 {
-	t := nt.Tasks[a]
-	g := t.WeightedBestExec()
-	if math.IsInf(g, 1) {
-		return math.Inf(1) // unmeasured task: always worth one round
-	}
-	hist := nt.gHist[a]
-	slope := 0.0
-	if n := len(hist); n >= 2 {
-		slope = hist[n-2] - hist[n-1] // positive when improving
-	}
-	ta := float64(nt.allocations[a])
-	if ta < 1 {
-		ta = 1
-	}
-	// Similar subgraphs: same main-stage kind. P is achieved FLOPS.
-	maxP := 0.0
-	mainKind := t.Graph.Stages[t.Graph.MainStage()].Kind
-	for b, o := range nt.Tasks {
-		if b == a || o.Best == nil {
-			continue
-		}
-		if o.Graph.Stages[o.Graph.MainStage()].Kind != mainKind {
-			continue
-		}
-		if p := o.Graph.FLOPs() / nt.Meas.Sim.Exec(o.Best); p > maxP {
-			maxP = p
-		}
-	}
-	potential := g / ta
-	if maxP > 0 {
-		bound := g - GradBeta*float64(t.Graph.Weight)*t.Graph.FLOPs()/maxP
-		// min(-g/t, β·B/maxP - g) in the paper's negative orientation is
-		// max(g/t, g - β·B/maxP) as a positive benefit.
-		if bound > potential {
-			potential = bound
-		}
-	}
-	return GradAlpha*slope + (1-GradAlpha)*potential
+	return search.GradientEstimate(nt.Tasks, a, nt.gHist[a], nt.allocations[a], GradAlpha, GradBeta)
 }
 
 // selectTask applies the scheduler's task policy.

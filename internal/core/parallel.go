@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+
+	"harl/internal/hardware"
+	"harl/internal/search"
+	"harl/internal/workload"
+)
+
+// ParallelNetworkTuner tunes a network's subgraph tasks concurrently with
+// search.MultiTuner: every wave it picks a set of subgraphs with the
+// preset's allocation policy (the gradient estimate of Eq. 3, or round-robin
+// for the presets that use it) and runs one engine round on each selected
+// task in parallel across a worker pool. Unlike NetworkTuner — which
+// interleaves one round at a time against a shared measurer — every task
+// owns its measurer and RNG stream, so results depend only on the seed and
+// configuration, never on the worker count.
+//
+// The SW-UCB subgraph bandit of the serial tuner is subsumed here by the
+// wave-level gradient allocation: with several tasks advancing per wave the
+// non-stationary exploration the bandit provides is already covered by the
+// unvisited-first and slope terms of the estimate.
+type ParallelNetworkTuner struct {
+	Net *workload.Network
+	MT  *search.MultiTuner
+}
+
+// NewParallelNetworkTuner builds the concurrent tuner for a scheduler preset
+// name. roundTrials is the measured-candidate count per task round; workers
+// sizes the pool (<= 0 selects runtime.NumCPU()).
+func NewParallelNetworkTuner(net *workload.Network, plat *hardware.Platform, schedName string, roundTrials int, seed uint64, workers int) (*ParallelNetworkTuner, error) {
+	mk, policy, err := EngineFactory(schedName)
+	if err != nil {
+		return nil, err
+	}
+	cfg := search.DefaultMultiTunerConfig()
+	cfg.RoundTrials = roundTrials
+	cfg.Workers = workers
+	cfg.GradAlpha, cfg.GradBeta = GradAlpha, GradBeta
+	if policy == PolicyRoundRobin {
+		cfg.Policy = search.AllocRoundRobin
+	}
+	tasks := search.NewTaskSet(net.Subgraphs, plat, seed)
+	return &ParallelNetworkTuner{
+		Net: net,
+		MT:  search.NewMultiTuner(tasks, mk, cfg),
+	}, nil
+}
+
+// Run tunes until the measurement budget is exhausted.
+func (p *ParallelNetworkTuner) Run(budgetTrials int) { p.MT.Run(budgetTrials) }
+
+// Trials returns the cumulative measurement count across all tasks.
+func (p *ParallelNetworkTuner) Trials() int { return p.MT.Trials() }
+
+// CostSec returns the total simulated search time across all tasks.
+func (p *ParallelNetworkTuner) CostSec() float64 { return p.MT.CostSec() }
+
+// EstimatedExec returns Σ w_n·g_n (+Inf until every subgraph measured).
+func (p *ParallelNetworkTuner) EstimatedExec() float64 { return p.MT.EstimatedExec() }
+
+// MeasuredExec adds the per-subgraph-execution communication overhead to the
+// estimate, matching NetworkTuner's modeled end-to-end time.
+func (p *ParallelNetworkTuner) MeasuredExec() float64 {
+	est := p.EstimatedExec()
+	if math.IsInf(est, 1) {
+		return est
+	}
+	return est + float64(p.Net.TotalWeight())*CommOverheadSec
+}
+
+// Breakdown returns the per-subgraph execution-time decomposition, matching
+// NetworkTuner.Breakdown.
+func (p *ParallelNetworkTuner) Breakdown() []SubgraphBreakdown {
+	total := p.EstimatedExec()
+	out := make([]SubgraphBreakdown, len(p.MT.Tasks))
+	for i, t := range p.MT.Tasks {
+		b := SubgraphBreakdown{Name: t.Graph.Name, Weight: t.Graph.Weight}
+		if t.Best != nil {
+			b.BestExec = t.Meas.Sim.Exec(t.Best)
+			b.WeightedExec = float64(t.Graph.Weight) * b.BestExec
+			if !math.IsInf(total, 1) && total > 0 {
+				b.Contribution = b.WeightedExec / total
+			}
+		}
+		out[i] = b
+	}
+	return out
+}

@@ -39,6 +39,20 @@ type Config struct {
 	NetworkBudgetScale float64
 	// NetworkPlatforms lists platform names for the network grid.
 	NetworkPlatforms []string
+	// Workers sizes the worker pool used by every tuning job (0 or 1 runs
+	// single-threaded, < 0 selects runtime.NumCPU()). Experiment outputs
+	// are byte-identical for every worker count — the pool only fans out
+	// order-independent work (trial evaluation, cost-model queries) — so
+	// raising it is purely a wall-clock optimization.
+	Workers int
+}
+
+// workers resolves the configured pool width (0 means single-threaded).
+func (c Config) workers() int {
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.Workers
 }
 
 // Scaled returns the default reduced-budget configuration used by the bench
@@ -89,11 +103,11 @@ type PairResult struct {
 // computes the paper's two metrics (Section 6.2): Performance (inverse
 // execution time of the final program) and Search time (time to reach a
 // program no worse than the baseline's final output).
-func RunPair(sg *texpr.Subgraph, plat *hardware.Platform, budget, measureK int, seed uint64) PairResult {
+func RunPair(sg *texpr.Subgraph, plat *hardware.Platform, budget, measureK int, seed uint64, workers int) PairResult {
 	// Fresh subgraph instances per engine would share state anyway; tasks are
 	// engine-private so a single instance is safe.
-	ansor := core.TuneOperator(sg, plat, core.MustScheduler("ansor"), budget, measureK, seed)
-	harl := core.TuneOperator(sg, plat, core.MustScheduler("harl"), budget, measureK, seed+1)
+	ansor := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("ansor"), budget, measureK, seed, workers)
+	harl := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("harl"), budget, measureK, seed+1, workers)
 
 	res := PairResult{
 		Name:      sg.Name,
@@ -157,7 +171,7 @@ func OperatorGrid(cfg Config, w io.Writer) []OperatorRow {
 			}
 			var aPerf, hPerf, aTime, hTime, aGF, hGF []float64
 			for i, sg := range suite {
-				pr := RunPair(sg, plat, cfg.OperatorBudget, cfg.MeasureK, cfg.Seed+uint64(i)*97+uint64(batch))
+				pr := RunPair(sg, plat, cfg.OperatorBudget, cfg.MeasureK, cfg.Seed+uint64(i)*97+uint64(batch), cfg.workers())
 				aPerf = append(aPerf, 1/pr.AnsorExec)
 				hPerf = append(hPerf, 1/pr.HARLExec)
 				aTime = append(aTime, pr.AnsorTime)
@@ -224,7 +238,7 @@ func AblationTrajectory(cfg Config, w io.Writer) TrajectoryResult {
 	curves := map[string][]float64{}
 	finals := map[string]float64{}
 	for _, name := range []string{"ansor", "hierarchical-rl", "harl"} {
-		res := core.TuneOperator(sg, plat, core.MustScheduler(name), budget, cfg.MeasureK, cfg.Seed)
+		res := core.TuneOperatorWorkers(sg, plat, core.MustScheduler(name), budget, cfg.MeasureK, cfg.Seed, cfg.workers())
 		curves[name] = res.Task.BestLog
 		finals[name] = res.BestGFLOPS
 	}
@@ -288,8 +302,8 @@ type CriticalStepsResult struct {
 func CriticalSteps(cfg Config, w io.Writer) CriticalStepsResult {
 	sg := workload.GEMM("GEMM-L-1024", 1, 1024, 1024, 1024)
 	plat := hardware.CPUXeon6226R()
-	fixed := core.TuneOperator(sg, plat, core.MustScheduler("hierarchical-rl"), cfg.OperatorBudget, cfg.MeasureK, cfg.Seed)
-	adaptive := core.TuneOperator(sg, plat, core.MustScheduler("harl"), cfg.OperatorBudget, cfg.MeasureK, cfg.Seed)
+	fixed := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("hierarchical-rl"), cfg.OperatorBudget, cfg.MeasureK, cfg.Seed, cfg.workers())
+	adaptive := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("harl"), cfg.OperatorBudget, cfg.MeasureK, cfg.Seed, cfg.workers())
 
 	res := CriticalStepsResult{
 		FixedBins:    positionBins(fixed.Task.TrackPositions),
@@ -374,7 +388,7 @@ func sensitivity(cfg Config, w io.Writer, param string, values []float64) []Sens
 			hcfg.Rho = v
 		}
 		sched := &core.Scheduler{Name: "harl", Engine: search.NewHARL(hcfg), Policy: core.PolicySWUCB}
-		res := core.TuneOperator(sg, plat, sched, cfg.OperatorBudget, cfg.MeasureK, cfg.Seed)
+		res := core.TuneOperatorWorkers(sg, plat, sched, cfg.OperatorBudget, cfg.MeasureK, cfg.Seed, cfg.workers())
 		rounds := math.Max(1, float64(res.Trials)/float64(cfg.MeasureK))
 		rows = append(rows, SensitivityRow{
 			Value:       v,

@@ -24,7 +24,7 @@ func tinyCfg() Config {
 
 func TestRunPairMetrics(t *testing.T) {
 	sg := workload.GEMM("g", 1, 256, 256, 256)
-	pr := RunPair(sg, hardware.CPUXeon6226R(), 64, 16, 1)
+	pr := RunPair(sg, hardware.CPUXeon6226R(), 64, 16, 1, 1)
 	if pr.AnsorExec <= 0 || pr.HARLExec <= 0 {
 		t.Fatalf("degenerate pair %+v", pr)
 	}

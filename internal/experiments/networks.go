@@ -37,6 +37,9 @@ func runNetwork(cfg Config, netName string, batch int, platName, schedName strin
 	}
 	plat := hardware.ByName(platName)
 	nt := core.NewNetworkTuner(net, plat, core.MustScheduler(schedName), cfg.MeasureK, seed)
+	if w := cfg.workers(); w != 1 {
+		nt.SetWorkers(w)
+	}
 	nt.Run(netBudget(cfg, net))
 	return nt
 }

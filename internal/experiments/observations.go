@@ -180,8 +180,8 @@ func FixedLengthWaste(cfg Config, w io.Writer) FixedLengthWasteResult {
 	var all []float64
 	for i, geom := range []string{"GEMM-S", "GEMM-M", "GEMM-L"} {
 		sg := workload.SuiteFor(geom, 1)[0]
-		res := core.TuneOperator(sg, plat, core.MustScheduler("flextensor"),
-			cfg.OperatorBudget/2, cfg.MeasureK, cfg.Seed+uint64(i))
+		res := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("flextensor"),
+			cfg.OperatorBudget/2, cfg.MeasureK, cfg.Seed+uint64(i), cfg.workers())
 		all = append(all, res.Task.TrackPositions...)
 	}
 	res := FixedLengthWasteResult{Bins: positionBins(all)}

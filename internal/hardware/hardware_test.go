@@ -2,6 +2,7 @@ package hardware
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -307,5 +308,130 @@ func TestFusionBeatsUnfused(t *testing.T) {
 	}
 	if bestFused >= bestUnfused {
 		t.Fatalf("fusion should win at the top: fused %.3g vs unfused %.3g", bestFused, bestUnfused)
+	}
+}
+
+func TestTimeToReachEdgeCases(t *testing.T) {
+	sim := NewSimulator(CPUXeon6226R())
+	m := NewMeasurer(sim, xrand.New(11))
+
+	// Empty log: nothing has been measured, nothing is reachable.
+	if sec, ok := m.TimeToReach(1e9); ok || sec != 0 {
+		t.Fatalf("empty log TimeToReach = (%v, %v)", sec, ok)
+	}
+	if n, ok := m.TrialsToReach(1e9); ok || n != 0 {
+		t.Fatalf("empty log TrialsToReach = (%v, %v)", n, ok)
+	}
+
+	rng := xrand.New(12)
+	for i := 0; i < 10; i++ {
+		m.Measure(randSchedule(rng))
+	}
+
+	// Unreachable target: report the full budget/trial count and false.
+	if sec, ok := m.TimeToReach(0); ok || sec != m.CostSec() {
+		t.Fatalf("unreachable TimeToReach = (%v, %v), cost %v", sec, ok, m.CostSec())
+	}
+	if n, ok := m.TrialsToReach(0); ok || n != m.Trials() {
+		t.Fatalf("unreachable TrialsToReach = (%v, %v)", n, ok)
+	}
+
+	// Exact-hit target: the final best value is reached at the trial where
+	// the best log first attains it, not at the end.
+	best := m.BestExec()
+	firstIdx := -1
+	for i, e := range m.BestLog() {
+		if e <= best {
+			firstIdx = i
+			break
+		}
+	}
+	sec, ok := m.TimeToReach(best)
+	if !ok || sec != m.CostLog()[firstIdx] {
+		t.Fatalf("exact-hit TimeToReach = (%v, %v), want (%v, true)", sec, ok, m.CostLog()[firstIdx])
+	}
+	if n, ok := m.TrialsToReach(best); !ok || n != firstIdx+1 {
+		t.Fatalf("exact-hit TrialsToReach = (%v, %v), want (%d, true)", n, ok, firstIdx+1)
+	}
+}
+
+// Measurement noise is derived per (schedule, repetition), so the measured
+// value of a schedule does not depend on what was measured before it —
+// the property that makes parallel measurement order-independent.
+func TestMeasurerNoiseOrderIndependent(t *testing.T) {
+	sim := NewSimulator(CPUXeon6226R())
+	rng := xrand.New(13)
+	a, b := randSchedule(rng), randSchedule(rng)
+	if a.Key() == b.Key() {
+		t.Fatal("want distinct schedules")
+	}
+	m1 := NewMeasurer(sim, xrand.New(99))
+	m2 := NewMeasurer(sim, xrand.New(99))
+	a1, b1 := m1.Measure(a), m1.Measure(b)
+	b2, a2 := m2.Measure(b), m2.Measure(a) // reversed order
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("measurement order changed values: a %v/%v b %v/%v", a1, a2, b1, b2)
+	}
+	// Re-measuring the same schedule draws fresh noise (repetition index).
+	if again := m1.Measure(a); again == a1 {
+		t.Fatal("repeated measurement must redraw noise")
+	}
+	// A different measurer seed gives a different noise stream.
+	m3 := NewMeasurer(sim, xrand.New(100))
+	if m3.Measure(a) == a1 {
+		t.Fatal("noise must depend on the measurer seed")
+	}
+}
+
+// The split reserve/evaluate/commit API used by parallel batches must agree
+// with the one-shot Measure path.
+func TestMeasurerSplitAPIMatchesMeasure(t *testing.T) {
+	sim := NewSimulator(CPUXeon6226R())
+	rng := xrand.New(14)
+	s := randSchedule(rng)
+	m1 := NewMeasurer(sim, xrand.New(7))
+	m2 := NewMeasurer(sim, xrand.New(7))
+	want := m1.Measure(s)
+	noisy := m2.NoisyExec(s, m2.ReserveSeq(s.Key()))
+	m2.Commit(noisy)
+	if noisy != want {
+		t.Fatalf("split API %v vs Measure %v", noisy, want)
+	}
+	if m1.CostSec() != m2.CostSec() || m1.Trials() != m2.Trials() {
+		t.Fatal("accounting diverged between split and one-shot paths")
+	}
+}
+
+// Concurrent measurement, cost charging and reads must be race-free (run
+// under -race) and lose no trials.
+func TestMeasurerConcurrentUse(t *testing.T) {
+	sim := NewSimulator(CPUXeon6226R())
+	m := NewMeasurer(sim, xrand.New(15))
+	const workers, each = 8, 25
+	scheds := make([]*schedule.Schedule, workers*each)
+	rng := xrand.New(16)
+	for i := range scheds {
+		scheds[i] = randSchedule(rng)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				m.Measure(scheds[w*each+i])
+				m.AddSearchCost(1e-6)
+				m.AddCostModelQueries(2)
+				_ = m.BestExec()
+				_, _ = m.TrialsToReach(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Trials() != workers*each {
+		t.Fatalf("lost trials: %d of %d", m.Trials(), workers*each)
+	}
+	if len(m.BestLog()) != workers*each || len(m.CostLog()) != workers*each {
+		t.Fatal("log lengths wrong after concurrent use")
 	}
 }

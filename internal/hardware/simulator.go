@@ -12,6 +12,8 @@ import (
 // Simulator maps a schedule to a deterministic execution time on a platform.
 // The same schedule always yields the same time (texture included), so search
 // results are exactly reproducible; per-measurement noise lives in Measurer.
+// Exec and GFLOPS only read the platform description and the schedule, so a
+// single Simulator may be shared by any number of concurrent workers.
 type Simulator struct {
 	Plat *Platform
 

@@ -87,21 +87,31 @@ func (a *Ansor) RunRound(t *Task, measureK int) int {
 		score float64
 	}
 	pool := make(map[uint64]cand)
-	addPool := func(s *schedule.Schedule) float64 {
-		k := s.Key()
-		if c, ok := pool[k]; ok {
-			return c.score
+	// scorePool batch-scores the configurations of pop not yet in the pool,
+	// fanning model queries across the task's worker pool (duplicates within
+	// a generation are scored once, as the old per-schedule memoization did).
+	scorePool := func(pop []*schedule.Schedule) {
+		var fresh []*schedule.Schedule
+		seen := make(map[uint64]bool)
+		for _, s := range pop {
+			k := s.Key()
+			if _, ok := pool[k]; ok || seen[k] {
+				continue
+			}
+			seen[k] = true
+			fresh = append(fresh, s)
 		}
-		sc := t.Score(s)
-		pool[k] = cand{s, sc}
-		return sc
+		for i, sc := range t.ScoreBatch(fresh) {
+			pool[fresh[i].Key()] = cand{fresh[i], sc}
+		}
 	}
 
 	scores := make([]float64, len(pop))
 	for g := 0; g <= a.Cfg.Generations; g++ {
+		scorePool(pop)
 		maxS := 0.0
 		for i, s := range pop {
-			scores[i] = addPool(s)
+			scores[i] = pool[s.Key()].score
 			if scores[i] > maxS {
 				maxS = scores[i]
 			}

@@ -147,10 +147,14 @@ func (h *HARL) RunRound(t *Task, measureK int) int {
 		}
 	}
 
+	inits := make([]*schedule.Schedule, h.Cfg.Tracks)
+	for i := range inits {
+		inits[i] = t.RandomSchedule(sk)
+	}
+	initScores := t.ScoreBatch(inits)
 	tracks := make([]*track, h.Cfg.Tracks)
-	for i := range tracks {
-		s := t.RandomSchedule(sk)
-		sc := t.Score(s)
+	for i, s := range inits {
+		sc := initScores[i]
 		tracks[i] = &track{sched: s, feats: s.Features(), score: sc, bestScore: sc, alive: true}
 		record(s, sc)
 	}

@@ -1,0 +1,334 @@
+package search
+
+import (
+	"math"
+
+	"harl/internal/hardware"
+	"harl/internal/texpr"
+	"harl/internal/xrand"
+)
+
+// AllocPolicy selects how MultiTuner spreads the trial budget across tasks.
+type AllocPolicy int
+
+const (
+	// AllocGradient picks each wave's tasks by the Eq. 3 gradient estimate
+	// (Ansor's task-scheduler benefit score), so subgraphs that still
+	// promise end-to-end gains receive more rounds.
+	AllocGradient AllocPolicy = iota
+	// AllocRoundRobin cycles through tasks in index order.
+	AllocRoundRobin
+)
+
+// MultiTunerConfig parameterizes the concurrent multi-task scheduler.
+type MultiTunerConfig struct {
+	// RoundTrials is the number of measured candidates per engine round.
+	RoundTrials int
+	// Workers is the worker-pool width for concurrent task rounds; <= 0
+	// selects runtime.NumCPU(). Worker count never changes results, only
+	// wall-clock time (see the determinism note on MultiTuner).
+	Workers int
+	// WaveWidth is how many tasks advance concurrently per wave; 0 means
+	// every task. It is part of the schedule (unlike Workers): changing it
+	// changes which task states feed the next allocation decision.
+	WaveWidth int
+	// Policy selects the budget allocator.
+	Policy AllocPolicy
+	// GradAlpha and GradBeta are the Eq. 3 constants (Table 5); zero
+	// selects the corresponding default.
+	GradAlpha float64
+	GradBeta  float64
+}
+
+// DefaultMultiTunerConfig mirrors the paper's allocator constants.
+func DefaultMultiTunerConfig() MultiTunerConfig {
+	return MultiTunerConfig{
+		RoundTrials: 16,
+		Policy:      AllocGradient,
+		GradAlpha:   0.2,
+		GradBeta:    2.0,
+	}
+}
+
+// WaveSnapshot records one completed wave for allocation diagnostics.
+type WaveSnapshot struct {
+	Wave    int
+	Tasks   []int // task indices advanced this wave
+	Trials  int   // cumulative trials after the wave
+	CostSec float64
+}
+
+// MultiTuner tunes many tasks (the subgraphs of a network) concurrently: each
+// wave it selects a set of tasks with the allocation policy and runs one
+// engine round on every selected task in parallel across a worker pool.
+//
+// Determinism contract: tasks are fully independent — each owns its engine
+// instance, RNG stream, cost model and measurer — and allocation decisions
+// happen at wave barriers from committed state only. The outcome therefore
+// depends on the seed and the configuration but NOT on the worker count or
+// on goroutine scheduling: workers=1 and workers=N produce byte-identical
+// best schedules, logs and search-time accounting.
+type MultiTuner struct {
+	Tasks   []*Task
+	Engines []Engine
+	Cfg     MultiTunerConfig
+
+	pool        *ParallelPool
+	allocations []int
+	gHist       [][]float64 // per task: weighted best exec after each round
+	rrNext      int
+	History     []WaveSnapshot
+}
+
+// NewTaskSet builds one task per subgraph on the platform, each with its own
+// measurer and RNG stream (derived from seed in index order) so concurrent
+// rounds never contend. The simulator is shared — it is stateless.
+func NewTaskSet(graphs []*texpr.Subgraph, plat *hardware.Platform, seed uint64) []*Task {
+	rng := xrand.New(seed)
+	sim := hardware.NewSimulator(plat)
+	tasks := make([]*Task, len(graphs))
+	for i, g := range graphs {
+		meas := hardware.NewMeasurer(sim, rng.Split())
+		tasks[i] = NewTask(g, plat, meas, rng.Split())
+	}
+	return tasks
+}
+
+// NewMultiTuner builds the scheduler; mkEngine constructs a fresh engine per
+// task (engine state is per-task and must not be shared across goroutines).
+func NewMultiTuner(tasks []*Task, mkEngine func() Engine, cfg MultiTunerConfig) *MultiTuner {
+	def := DefaultMultiTunerConfig()
+	if cfg.RoundTrials <= 0 {
+		cfg.RoundTrials = def.RoundTrials
+	}
+	if cfg.GradAlpha == 0 {
+		cfg.GradAlpha = def.GradAlpha
+	}
+	if cfg.GradBeta == 0 {
+		cfg.GradBeta = def.GradBeta
+	}
+	mt := &MultiTuner{
+		Tasks:       tasks,
+		Cfg:         cfg,
+		pool:        NewParallelPool(cfg.Workers),
+		allocations: make([]int, len(tasks)),
+		gHist:       make([][]float64, len(tasks)),
+	}
+	for range tasks {
+		mt.Engines = append(mt.Engines, mkEngine())
+	}
+	return mt
+}
+
+// Trials returns the cumulative measurement count across all tasks.
+func (mt *MultiTuner) Trials() int {
+	total := 0
+	for _, t := range mt.Tasks {
+		total += t.Trials
+	}
+	return total
+}
+
+// CostSec returns the total simulated search time, summing each distinct
+// measurer once in task order (tasks may share a measurer).
+func (mt *MultiTuner) CostSec() float64 {
+	total := 0.0
+	seen := make(map[*hardware.Measurer]bool)
+	for _, t := range mt.Tasks {
+		if seen[t.Meas] {
+			continue
+		}
+		seen[t.Meas] = true
+		total += t.Meas.CostSec()
+	}
+	return total
+}
+
+// TaskTrials returns a copy of the per-task trial counts.
+func (mt *MultiTuner) TaskTrials() []int {
+	out := make([]int, len(mt.Tasks))
+	for i, t := range mt.Tasks {
+		out[i] = t.Trials
+	}
+	return out
+}
+
+// EstimatedExec returns Σ w_n·g_n over the tasks (+Inf until every task has
+// a measured schedule).
+func (mt *MultiTuner) EstimatedExec() float64 {
+	total := 0.0
+	for _, t := range mt.Tasks {
+		g := t.WeightedBestExec()
+		if math.IsInf(g, 1) {
+			return math.Inf(1)
+		}
+		total += g
+	}
+	return total
+}
+
+// GradientEstimate computes the Eq. 3 benefit score of giving task a the
+// next round (larger = more expected end-to-end gain). The first term is the
+// recent measured improvement slope of the task's weighted execution time
+// (hist holds that value after each of the task's rounds counted by rounds);
+// the second is Ansor's optimistic potential: the task can either keep its
+// historical halving pace (g/t) or approach β× the best throughput achieved
+// by similar subgraphs (same main-stage kind). It reads committed task state
+// only and is shared by the serial NetworkTuner and the concurrent
+// MultiTuner.
+func GradientEstimate(tasks []*Task, a int, hist []float64, rounds int, alpha, beta float64) float64 {
+	t := tasks[a]
+	g := t.WeightedBestExec()
+	if math.IsInf(g, 1) {
+		return math.Inf(1) // unmeasured task: always worth one round
+	}
+	slope := 0.0
+	if n := len(hist); n >= 2 {
+		slope = hist[n-2] - hist[n-1] // positive when improving
+	}
+	ta := float64(rounds)
+	if ta < 1 {
+		ta = 1
+	}
+	maxP := 0.0
+	mainKind := t.Graph.Stages[t.Graph.MainStage()].Kind
+	for b, o := range tasks {
+		if b == a || o.Best == nil {
+			continue
+		}
+		if o.Graph.Stages[o.Graph.MainStage()].Kind != mainKind {
+			continue
+		}
+		if p := o.Graph.FLOPs() / o.Meas.Sim.Exec(o.Best); p > maxP {
+			maxP = p
+		}
+	}
+	potential := g / ta
+	if maxP > 0 {
+		// min(-g/t, β·B/maxP - g) in the paper's negative orientation is
+		// max(g/t, g - β·B/maxP) as a positive benefit.
+		if bound := g - beta*float64(t.Graph.Weight)*t.Graph.FLOPs()/maxP; bound > potential {
+			potential = bound
+		}
+	}
+	return alpha*slope + (1-alpha)*potential
+}
+
+func (mt *MultiTuner) gradientEstimate(a int) float64 {
+	return GradientEstimate(mt.Tasks, a, mt.gHist[a], mt.allocations[a], mt.Cfg.GradAlpha, mt.Cfg.GradBeta)
+}
+
+// selectWave picks the tasks to advance this wave: at most width tasks, by
+// round-robin order or by descending gradient estimate with index
+// tie-breaking (both fully deterministic).
+func (mt *MultiTuner) selectWave(width int) []int {
+	n := len(mt.Tasks)
+	if width <= 0 || width > n {
+		width = n
+	}
+	if mt.Cfg.Policy == AllocRoundRobin {
+		sel := make([]int, 0, width)
+		for i := 0; i < width; i++ {
+			sel = append(sel, (mt.rrNext+i)%n)
+		}
+		mt.rrNext = (mt.rrNext + width) % n
+		return sel
+	}
+	type scored struct {
+		idx int
+		v   float64
+	}
+	est := make([]scored, n)
+	for a := range mt.Tasks {
+		est[a] = scored{a, mt.gradientEstimate(a)}
+	}
+	// Insertion-sort by (value desc, index asc): n is the subgraph count of
+	// one network, i.e. small.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && (est[j].v > est[j-1].v || (est[j].v == est[j-1].v && est[j].idx < est[j-1].idx)); j-- {
+			est[j], est[j-1] = est[j-1], est[j]
+		}
+	}
+	sel := make([]int, 0, width)
+	for i := 0; i < width; i++ {
+		sel = append(sel, est[i].idx)
+	}
+	return sel
+}
+
+// Wave runs one scheduling wave — an engine round on every selected task,
+// concurrently — and returns the selected task indices.
+func (mt *MultiTuner) Wave(width int) []int {
+	return mt.wave(width, 0)
+}
+
+// wave is Wave with an optional trial budget: with remaining > 0 the
+// per-task round sizes are clamped (serially, at the barrier, in selection
+// order) so the wave as a whole measures at most remaining candidates —
+// matching the exact-budget clamp of the serial Tune loop.
+func (mt *MultiTuner) wave(width, remaining int) []int {
+	sel := mt.selectWave(width)
+	caps := make([]int, len(sel))
+	for i := range sel {
+		k := mt.Cfg.RoundTrials
+		if remaining > 0 {
+			if k > remaining {
+				k = remaining
+			}
+			remaining -= k
+		}
+		caps[i] = k
+	}
+	mt.pool.Run(len(sel), func(j int) {
+		a := sel[j]
+		t := mt.Tasks[a]
+		if mt.Engines[a].RunRound(t, caps[j]) == 0 {
+			// The round produced nothing new (space exhausted or all
+			// duplicates); inject random exploration so waves make progress.
+			t.ExploreRandom(caps[j])
+		}
+	})
+	for _, a := range sel {
+		mt.allocations[a]++
+		mt.gHist[a] = append(mt.gHist[a], mt.Tasks[a].WeightedBestExec())
+	}
+	mt.History = append(mt.History, WaveSnapshot{
+		Wave:    len(mt.History),
+		Tasks:   sel,
+		Trials:  mt.Trials(),
+		CostSec: mt.CostSec(),
+	})
+	return sel
+}
+
+// Run tunes until the measurement budget is exhausted. The final wave is
+// narrowed and its per-task rounds clamped so the budget lands exactly
+// (engines that measure in indivisible chunks may still overshoot by at
+// most their chunk, as in the serial Tune loop). If several consecutive
+// waves measure nothing new — the schedule spaces are exhausted — Run
+// returns rather than spinning on an unreachable budget.
+func (mt *MultiTuner) Run(budgetTrials int) {
+	stalled := 0
+	for {
+		remaining := budgetTrials - mt.Trials()
+		if remaining <= 0 {
+			return
+		}
+		width := mt.Cfg.WaveWidth
+		if width <= 0 || width > len(mt.Tasks) {
+			width = len(mt.Tasks)
+		}
+		if need := (remaining + mt.Cfg.RoundTrials - 1) / mt.Cfg.RoundTrials; width > need {
+			width = need
+		}
+		before := mt.Trials()
+		mt.wave(width, remaining)
+		if mt.Trials() == before {
+			if stalled++; stalled >= 3 {
+				return
+			}
+		} else {
+			stalled = 0
+		}
+	}
+}

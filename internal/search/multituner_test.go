@@ -1,0 +1,175 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"harl/internal/hardware"
+	"harl/internal/texpr"
+	"harl/internal/workload"
+)
+
+func bertGraphs(t *testing.T) []*texpr.Subgraph {
+	t.Helper()
+	return workload.BERT(1).Subgraphs
+}
+
+func runMulti(t *testing.T, graphs []*texpr.Subgraph, mk func() Engine, cfg MultiTunerConfig, seed uint64, budget int) *MultiTuner {
+	t.Helper()
+	tasks := NewTaskSet(graphs, hardware.CPUXeon6226R(), seed)
+	mt := NewMultiTuner(tasks, mk, cfg)
+	mt.Run(budget)
+	return mt
+}
+
+func TestMultiTunerHonorsBudget(t *testing.T) {
+	cfg := DefaultMultiTunerConfig()
+	cfg.RoundTrials = 8
+	mt := runMulti(t, bertGraphs(t), func() Engine { return NewRandom() }, cfg, 3, 120)
+	if mt.Trials() < 120 {
+		t.Fatalf("budget not exhausted: %d trials", mt.Trials())
+	}
+	// The final wave is width-capped, so the overshoot stays below one full
+	// wave of rounds.
+	if mt.Trials() > 120+len(mt.Tasks)*cfg.RoundTrials {
+		t.Fatalf("excessive overshoot: %d trials", mt.Trials())
+	}
+	for i, task := range mt.Tasks {
+		if task.Trials > 0 && task.Best == nil {
+			t.Fatalf("task %d measured but has no best", i)
+		}
+	}
+	if math.IsInf(mt.EstimatedExec(), 1) {
+		t.Fatal("every task must be visited (estimated exec finite)")
+	}
+	if mt.CostSec() <= 0 {
+		t.Fatal("search cost must accumulate")
+	}
+}
+
+// The core determinism contract of the parallel engine: the same seed yields
+// byte-identical results for workers=1 and workers=8, for both allocation
+// policies and for the heavy RL engine as well as the random baseline.
+func TestMultiTunerWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker determinism sweep is slow")
+	}
+	engines := map[string]func() Engine{
+		"random": func() Engine { return NewRandom() },
+		"harl":   func() Engine { return NewHARL(DefaultHARLConfig()) },
+		"ansor":  func() Engine { return NewAnsor(DefaultAnsorConfig()) },
+	}
+	for name, mk := range engines {
+		for _, policy := range []AllocPolicy{AllocGradient, AllocRoundRobin} {
+			cfg := DefaultMultiTunerConfig()
+			cfg.RoundTrials = 8
+			cfg.Policy = policy
+			cfg.Workers = 1
+			serial := runMulti(t, bertGraphs(t), mk, cfg, 17, 160)
+			cfg.Workers = 8
+			parallel := runMulti(t, bertGraphs(t), mk, cfg, 17, 160)
+
+			if serial.Trials() != parallel.Trials() {
+				t.Fatalf("%s/%v: trials %d vs %d", name, policy, serial.Trials(), parallel.Trials())
+			}
+			if serial.CostSec() != parallel.CostSec() {
+				t.Fatalf("%s/%v: cost %v vs %v", name, policy, serial.CostSec(), parallel.CostSec())
+			}
+			for i := range serial.Tasks {
+				st, pt := serial.Tasks[i], parallel.Tasks[i]
+				if st.BestExec != pt.BestExec {
+					t.Fatalf("%s/%v task %d: best exec %v vs %v", name, policy, i, st.BestExec, pt.BestExec)
+				}
+				if (st.Best == nil) != (pt.Best == nil) {
+					t.Fatalf("%s/%v task %d: best presence diverged", name, policy, i)
+				}
+				if st.Best != nil && st.Best.Key() != pt.Best.Key() {
+					t.Fatalf("%s/%v task %d: best schedule diverged", name, policy, i)
+				}
+				if len(st.BestLog) != len(pt.BestLog) {
+					t.Fatalf("%s/%v task %d: log length diverged", name, policy, i)
+				}
+				for j := range st.BestLog {
+					if st.BestLog[j] != pt.BestLog[j] || st.TrialCost[j] != pt.TrialCost[j] {
+						t.Fatalf("%s/%v task %d: log entry %d diverged", name, policy, i, j)
+					}
+				}
+			}
+			// Allocation decisions must match wave for wave.
+			if len(serial.History) != len(parallel.History) {
+				t.Fatalf("%s/%v: wave count diverged", name, policy)
+			}
+			for w := range serial.History {
+				sw, pw := serial.History[w].Tasks, parallel.History[w].Tasks
+				if len(sw) != len(pw) {
+					t.Fatalf("%s/%v wave %d: width diverged", name, policy, w)
+				}
+				for k := range sw {
+					if sw[k] != pw[k] {
+						t.Fatalf("%s/%v wave %d: selection diverged (%v vs %v)", name, policy, w, sw, pw)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultiTunerRoundRobinCyclesTasks(t *testing.T) {
+	graphs := bertGraphs(t)
+	cfg := DefaultMultiTunerConfig()
+	cfg.Policy = AllocRoundRobin
+	cfg.RoundTrials = 4
+	cfg.WaveWidth = 3
+	tasks := NewTaskSet(graphs, hardware.CPUXeon6226R(), 9)
+	mt := NewMultiTuner(tasks, func() Engine { return NewRandom() }, cfg)
+	seen := make([]int, len(tasks))
+	for w := 0; w < 2*len(tasks); w++ {
+		for _, a := range mt.Wave(cfg.WaveWidth) {
+			seen[a]++
+		}
+	}
+	// 2·n waves of width 3 over n tasks: every task selected exactly 6 times.
+	for i, n := range seen {
+		if n != 6 {
+			t.Fatalf("task %d selected %d times (want 6): %v", i, n, seen)
+		}
+	}
+}
+
+func TestMultiTunerGradientPrefersHeavyTask(t *testing.T) {
+	// Two GEMM subgraphs, one with a 50× weight: after the mandatory first
+	// visits, gradient allocation must give the heavy task more rounds.
+	light := workload.GEMM("light", 1, 128, 128, 128)
+	heavy := workload.GEMM("heavy", 1, 256, 256, 256)
+	heavy.Weight = 50
+	cfg := DefaultMultiTunerConfig()
+	cfg.RoundTrials = 8
+	cfg.WaveWidth = 1
+	mt := runMulti(t, []*texpr.Subgraph{light, heavy}, func() Engine { return NewRandom() }, cfg, 21, 400)
+	trials := mt.TaskTrials()
+	if trials[1] <= trials[0] {
+		t.Fatalf("heavy task got %d trials vs light %d", trials[1], trials[0])
+	}
+}
+
+func TestNewTaskSetIndependentStreams(t *testing.T) {
+	graphs := bertGraphs(t)
+	tasks := NewTaskSet(graphs, hardware.CPUXeon6226R(), 5)
+	if len(tasks) != len(graphs) {
+		t.Fatalf("task count %d", len(tasks))
+	}
+	seen := make(map[*hardware.Measurer]bool)
+	for _, task := range tasks {
+		if seen[task.Meas] {
+			t.Fatal("tasks must not share measurers")
+		}
+		seen[task.Meas] = true
+	}
+	// Same seed reproduces the same streams.
+	again := NewTaskSet(graphs, hardware.CPUXeon6226R(), 5)
+	a := tasks[0].RandomSchedule(tasks[0].Sketches[0])
+	b := again[0].RandomSchedule(again[0].Sketches[0])
+	if a.Key() != b.Key() {
+		t.Fatal("task RNG streams not reproducible from seed")
+	}
+}

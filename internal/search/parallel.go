@@ -1,0 +1,72 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelPool fans independent, index-addressed jobs across a fixed number
+// of workers. It is the concurrency primitive of the tuning engines: callers
+// hand it n jobs where job i reads shared immutable state and writes only its
+// own slot of a caller-owned output, so the combined result is byte-identical
+// for every worker count — including the inline serial execution used when
+// the pool is nil or sized to one worker. Ordering-sensitive mutations (cost
+// logs, best-so-far updates, model refits) stay with the caller, which
+// commits them in input order after Run returns.
+type ParallelPool struct {
+	workers int
+}
+
+// NewParallelPool builds a pool; workers <= 0 selects runtime.NumCPU().
+func NewParallelPool(workers int) *ParallelPool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &ParallelPool{workers: workers}
+}
+
+// Workers returns the configured worker count (1 for a nil pool).
+func (p *ParallelPool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(0) … fn(n-1) and returns when all have finished. Jobs are
+// handed to workers through an atomic counter, so scheduling order is
+// arbitrary; fn must confine its writes to per-index state. A nil pool, a
+// single-worker pool, or n <= 1 runs the jobs inline on the caller's
+// goroutine.
+func (p *ParallelPool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

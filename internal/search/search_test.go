@@ -294,3 +294,39 @@ func TestTrialsToReach(t *testing.T) {
 		t.Fatal("unreachable target reported reached")
 	}
 }
+
+func TestMeasureBatchNaNAlignment(t *testing.T) {
+	task, _ := newTestTask(t, workload.GEMM("g", 1, 128, 128, 128), 6)
+	s1 := task.RandomSchedule(task.Sketches[0])
+	s2 := task.RandomSchedule(task.Sketches[0])
+	for s2.Key() == s1.Key() {
+		s2 = task.RandomSchedule(task.Sketches[0])
+	}
+	// nil entries and within-batch duplicates must come back as NaN in the
+	// slots they occupied, with real measurements aligned around them.
+	out := task.MeasureBatch([]*schedule.Schedule{s1, nil, s1.Clone(), s2})
+	if len(out) != 4 {
+		t.Fatalf("output length %d", len(out))
+	}
+	if math.IsNaN(out[0]) || math.IsNaN(out[3]) {
+		t.Fatal("fresh schedules must be measured")
+	}
+	if !math.IsNaN(out[1]) || !math.IsNaN(out[2]) {
+		t.Fatalf("nil/duplicate slots must be NaN: %v", out)
+	}
+	if task.Trials != 2 {
+		t.Fatalf("trials %d want 2", task.Trials)
+	}
+	// Duplicates across batches are skipped too.
+	out2 := task.MeasureBatch([]*schedule.Schedule{s2.Clone(), s1})
+	if !math.IsNaN(out2[0]) || !math.IsNaN(out2[1]) {
+		t.Fatalf("cross-batch duplicates must be NaN: %v", out2)
+	}
+	if task.Trials != 2 {
+		t.Fatalf("trials %d after duplicate-only batch", task.Trials)
+	}
+	// An all-duplicate batch must not refit or log anything new.
+	if len(task.BestLog) != 2 || len(task.TrialCost) != 2 {
+		t.Fatal("logs grew on duplicate-only batch")
+	}
+}

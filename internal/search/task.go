@@ -35,6 +35,11 @@ type Task struct {
 	Cost     *costmodel.Model
 	RNG      *xrand.RNG
 
+	// Pool fans trial evaluation and cost-model scoring across workers. A
+	// nil pool runs everything inline; any pool size yields byte-identical
+	// results (see ParallelPool).
+	Pool *ParallelPool
+
 	// Best measured schedule and its noisy execution time.
 	Best     *schedule.Schedule
 	BestExec float64
@@ -87,17 +92,33 @@ func (t *Task) Seen(s *schedule.Schedule) bool { return t.measured[s.Key()] }
 // configurations), records them into the cost model training set, refits the
 // model, and updates the task's best. It returns the measured execution
 // times aligned with the input slice (NaN for skipped duplicates).
+//
+// Trial evaluation (simulator + noise) fans out across the task's Pool; the
+// order-sensitive bookkeeping — measurement-cost accounting, best-so-far
+// logs, cost-model training — is committed serially in input order, so the
+// result is byte-identical for every worker count.
 func (t *Task) MeasureBatch(scheds []*schedule.Schedule) []float64 {
 	out := make([]float64, len(scheds))
-	measuredAny := false
+	type job struct {
+		idx int
+		seq uint64
+	}
+	var jobs []job
 	for i, s := range scheds {
 		if s == nil || t.measured[s.Key()] {
 			out[i] = math.NaN()
 			continue
 		}
 		t.measured[s.Key()] = true
-		exec := t.Meas.Measure(s)
-		out[i] = exec
+		jobs = append(jobs, job{idx: i, seq: t.Meas.ReserveSeq(s.Key())})
+	}
+	t.Pool.Run(len(jobs), func(j int) {
+		jb := jobs[j]
+		out[jb.idx] = t.Meas.NoisyExec(scheds[jb.idx], jb.seq)
+	})
+	for _, jb := range jobs {
+		s, exec := scheds[jb.idx], out[jb.idx]
+		t.Meas.Commit(exec)
 		t.Trials++
 		if exec < t.BestExec {
 			t.BestExec = exec
@@ -106,9 +127,8 @@ func (t *Task) MeasureBatch(scheds []*schedule.Schedule) []float64 {
 		t.BestLog = append(t.BestLog, t.BestExec)
 		t.TrialCost = append(t.TrialCost, t.Meas.CostSec())
 		t.Cost.Add(s.Features(), math.Log(1/exec))
-		measuredAny = true
 	}
-	if measuredAny {
+	if len(jobs) > 0 {
 		t.Cost.Refit()
 	}
 	return out
@@ -121,8 +141,27 @@ func (t *Task) Score(s *schedule.Schedule) float64 {
 	if !t.Cost.Trained() {
 		return 1
 	}
-	t.Meas.AddSearchCost(hardware.CostModelQuerySec)
+	t.Meas.AddCostModelQueries(1)
 	return t.Cost.Throughput(s.Features())
+}
+
+// ScoreBatch scores many schedules at once, fanning feature extraction and
+// model prediction across the task's Pool. It matches Score element-wise
+// (the model is read-only between refits), charges the same per-query search
+// cost, and returns scores aligned with the input.
+func (t *Task) ScoreBatch(scheds []*schedule.Schedule) []float64 {
+	out := make([]float64, len(scheds))
+	if !t.Cost.Trained() {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	t.Meas.AddCostModelQueries(len(scheds))
+	t.Pool.Run(len(scheds), func(i int) {
+		out[i] = t.Cost.Throughput(scheds[i].Features())
+	})
+	return out
 }
 
 // BestPerf returns the best measured performance (1/exec), or 0 if nothing
@@ -164,6 +203,18 @@ type Engine interface {
 	RunRound(t *Task, measureK int) int
 }
 
+// ExploreRandom measures k uniformly random schedules — the fallback both
+// the serial Tune loop and the concurrent MultiTuner use when an engine
+// round produces nothing new (space exhausted or all duplicates).
+func (t *Task) ExploreRandom(k int) {
+	var batch []*schedule.Schedule
+	for i := 0; i < k; i++ {
+		sk := t.Sketches[t.RNG.Intn(len(t.Sketches))]
+		batch = append(batch, t.RandomSchedule(sk))
+	}
+	t.MeasureBatch(batch)
+}
+
 // Tune runs the engine on a single task until the measurement budget is
 // exhausted (the operator-level experiments of Section 6.2).
 func Tune(e Engine, t *Task, budgetTrials, measureK int) {
@@ -173,14 +224,7 @@ func Tune(e Engine, t *Task, budgetTrials, measureK int) {
 			k = remaining
 		}
 		if e.RunRound(t, k) == 0 {
-			// The round produced nothing new (space exhausted or all
-			// duplicates); inject random exploration to make progress.
-			var batch []*schedule.Schedule
-			for i := 0; i < k; i++ {
-				sk := t.Sketches[t.RNG.Intn(len(t.Sketches))]
-				batch = append(batch, t.RandomSchedule(sk))
-			}
-			t.MeasureBatch(batch)
+			t.ExploreRandom(k)
 		}
 	}
 }
