@@ -1,16 +1,21 @@
 # Standard verification gate for the HARL reproduction.
 #
 #   make        — vet + build + unit tests
+#   make fmt    — gofmt the whole tree in place
 #   make race   — the full suite under the race detector (the merge gate for
 #                 anything touching the concurrent tuning engine)
 #   make bench  — one pass over every experiment benchmark
+#   make cover  — coverage profile across ./... and the total percentage
 #   make check  — everything: vet, build, tests, race
 
 GO ?= go
 
-.PHONY: all vet build test race bench check
+.PHONY: all fmt vet build test race bench cover check
 
 all: vet build test
+
+fmt:
+	gofmt -l -w .
 
 vet:
 	$(GO) vet ./...
@@ -26,5 +31,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 check: vet build test race

@@ -1,4 +1,7 @@
-// Command harl-bench regenerates the paper's tables and figures.
+// Command harl-bench regenerates the paper's tables and figures. Every
+// experiment additionally leaves a machine-readable trace: a BENCH_<exp>.json
+// summary (resolved configuration, duration, rendered rows) written under
+// -out, so the repo's performance trajectory accumulates run over run.
 //
 // Usage:
 //
@@ -7,11 +10,14 @@
 //	harl-bench -exp fig7a -budget 1000  # paper-scale operator budget
 //	harl-bench -exp all                 # the whole suite
 //	harl-bench -full -exp fig5          # paper-scale everything (hours)
+//	harl-bench -exp fig5 -out bench/    # JSON summaries under bench/
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,6 +32,7 @@ func main() {
 	configs := flag.Int("configs", 0, "Table-6 configurations per operator category, 1..4 (0 = preset default)")
 	full := flag.Bool("full", false, "use the paper-scale preset (hours of runtime)")
 	workers := flag.Int("workers", 0, "tuning worker pool size (0 = preset default, -1 = all CPU cores); outputs are identical for every worker count")
+	out := flag.String("out", ".", "directory for the per-experiment BENCH_<exp>.json summaries (empty = skip writing them)")
 	flag.Parse()
 
 	cfg := harl.ExperimentConfig{
@@ -44,11 +51,25 @@ func main() {
 	}
 	for _, id := range ids {
 		fmt.Printf("=== %s ===\n", id)
+		var buf bytes.Buffer
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			w = io.MultiWriter(os.Stdout, &buf)
+		}
 		start := time.Now()
-		if err := harl.RunExperiment(id, cfg, os.Stdout); err != nil {
+		if err := harl.RunExperiment(id, cfg, w); err != nil {
 			fmt.Fprintln(os.Stderr, "harl-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("(%s in %v)\n\n", id, elapsed.Round(time.Millisecond))
+		if *out != "" {
+			path, err := harl.WriteBenchSummary(*out, id, cfg, elapsed, buf.String())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "harl-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("summary: %s\n\n", path)
+		}
 	}
 }

@@ -6,6 +6,12 @@
 //	harl-tune -op gemm -shape 1024,1024,1024 -scheduler harl -trials 500
 //	harl-tune -op c2d  -shape 56,56,64,64,3,1,1 -batch 16
 //	harl-tune -network bert -batch 1 -trials 600 -scheduler ansor
+//
+// Every measured trial can be journaled to a persistent record log, and a
+// later run can warm-start from it (see the record-log section of README.md):
+//
+//	harl-tune -op gemm -shape 1024,1024,1024 -log tune.jsonl
+//	harl-tune -op gemm -shape 1024,1024,1024 -resume tune.jsonl -trials -1
 package main
 
 import (
@@ -23,18 +29,21 @@ func main() {
 	shape := flag.String("shape", "", "comma-separated operator shape (gemm: M,K,N; c2d: H,W,Cin,Cout,K,stride,pad; ...)")
 	network := flag.String("network", "", "network to tune end-to-end: bert, resnet50, mobilenetv2")
 	batch := flag.Int("batch", 1, "batch size")
-	target := flag.String("target", "cpu", "target platform: cpu or gpu")
+	target := flag.String("target", "cpu", "target platform: "+strings.Join(harl.Targets(), ", "))
 	scheduler := flag.String("scheduler", "harl", "scheduler preset: "+strings.Join(harl.Schedulers(), ", "))
-	trials := flag.Int("trials", 320, "measurement-trial budget")
+	trials := flag.Int("trials", 320, "measurement-trial budget (negative = no new measurements, replay the -resume cache only)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "tuning worker pool size: 0 = the legacy serial tuner (default), N >= 1 = the concurrent scheduler with N workers (identical results for every N), -1 = all CPU cores")
+	logPath := flag.String("log", "", "append one JSONL tuning record per measured trial to this file")
+	resume := flag.String("resume", "", "warm-start from the best cached schedules of this record log (may equal -log)")
 	flag.Parse()
 
 	tgt, err := harl.TargetByName(*target)
 	if err != nil {
 		fatal(err)
 	}
-	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed, Workers: *workers}
+	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed, Workers: *workers,
+		RecordLog: *logPath, ResumeFrom: *resume}
 
 	if *network != "" {
 		res, err := harl.TuneNetwork(*network, *batch, tgt, opts)
@@ -43,6 +52,9 @@ func main() {
 		}
 		fmt.Printf("%s on %s with %s: estimated %.3f ms, measured %.3f ms (%d trials, %.0f s search)\n",
 			res.Network, tgt.Name(), *scheduler, res.EstimatedSeconds*1e3, res.MeasuredSeconds*1e3, res.Trials, res.SearchSeconds)
+		if res.WarmStarted > 0 {
+			fmt.Printf("warm-started %d subgraph(s) from %s\n", res.WarmStarted, *resume)
+		}
 		fmt.Printf("%-18s %-7s %-12s %-8s %s\n", "subgraph", "weight", "exec(us)", "trials", "contribution")
 		for _, b := range res.Breakdown {
 			fmt.Printf("%-18s %-7d %-12.1f %-8d %.1f%%\n", b.Name, b.Weight, b.ExecSeconds*1e6, b.Trials, b.Contribution*100)
@@ -80,6 +92,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("%s on %s with %s:\n", w.Name(), tgt.Name(), res.Scheduler)
+	if res.WarmStarted {
+		fmt.Printf("  warm-started from %s\n", *resume)
+	}
 	fmt.Printf("  best program: %.4f ms (%.1f GFLOP/s)\n", res.ExecSeconds*1e3, res.GFLOPS)
 	fmt.Printf("  trials: %d, simulated search time: %.0f s\n", res.Trials, res.SearchSeconds)
 	fmt.Printf("  schedule: %s\n", res.BestSchedule)

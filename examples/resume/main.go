@@ -1,0 +1,81 @@
+// Resume: the tune → kill → resume workflow of the persistent tuning-record
+// journal. The first run journals every measured trial to a record log and is
+// cut off mid-search (simulated here by a deliberately small trial budget —
+// the journal is appended record by record, so a real kill -9 loses at most
+// one partially written line, which the loader skips). The second run
+// warm-starts from the log: the prior best schedule comes back immediately,
+// without re-measuring it, and the remaining budget only explores new ground.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"harl"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "harl-resume")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "gemm.jsonl")
+
+	w := harl.GEMM(512, 512, 512, 1)
+
+	// Run 1: tuning with a record log, "killed" after a third of the budget.
+	res1, err := harl.TuneOperator(w, harl.CPU(), harl.Options{
+		Scheduler: "harl",
+		Trials:    80,
+		Seed:      7,
+		RecordLog: logPath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run 1 (interrupted): %.4f ms after %d trials\n", res1.ExecSeconds*1e3, res1.Trials)
+
+	recs, err := harl.LoadRecords(logPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("journal: %d records for workload %s\n", len(recs), w.Fingerprint())
+
+	// Pure cache replay: a negative budget measures nothing and recovers the
+	// prior best exactly — byte-identical schedule, equal exec time.
+	replay, err := harl.TuneOperator(w, harl.CPU(), harl.Options{
+		Scheduler:  "harl",
+		Trials:     -1,
+		ResumeFrom: logPath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay (0 trials):   %.4f ms, warm-started=%v, schedule recovered: %v\n",
+		replay.ExecSeconds*1e3, replay.WarmStarted, replay.BestSchedule == res1.BestSchedule)
+
+	// Run 2: resume and finish the job. The cached best seeds the search (it
+	// is never re-measured) and new trials append to the same journal.
+	res2, err := harl.TuneOperator(w, harl.CPU(), harl.Options{
+		Scheduler:  "harl",
+		Trials:     160,
+		Seed:       8,
+		RecordLog:  logPath,
+		ResumeFrom: logPath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run 2 (resumed):     %.4f ms after %d new trials (never worse than run 1: %v)\n",
+		res2.ExecSeconds*1e3, res2.Trials, res2.ExecSeconds <= res1.ExecSeconds)
+
+	best, ok, err := harl.BestRecord(logPath, w, harl.CPU())
+	if err != nil || !ok {
+		log.Fatal("no best record:", err)
+	}
+	fmt.Printf("journal best across both runs: %.4f ms (trial %d, scheduler %s)\n",
+		best.ExecSeconds*1e3, best.Trial, best.Scheduler)
+}

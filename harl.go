@@ -21,11 +21,14 @@ package harl
 import (
 	"fmt"
 	"io"
+	"strings"
+	"time"
 
 	"harl/internal/core"
 	"harl/internal/experiments"
 	"harl/internal/hardware"
 	"harl/internal/texpr"
+	"harl/internal/tunelog"
 	"harl/internal/workload"
 )
 
@@ -41,13 +44,16 @@ func CPU() Target { return Target{hardware.CPUXeon6226R()} }
 // GPU returns the paper's GPU platform (NVIDIA RTX 3090 class).
 func GPU() Target { return Target{hardware.GPURTX3090()} }
 
-// TargetByName resolves "cpu" or "gpu".
+// TargetByName resolves a platform short name (see Targets).
 func TargetByName(name string) (Target, error) {
 	if p := hardware.ByName(name); p != nil {
 		return Target{p}, nil
 	}
-	return Target{}, fmt.Errorf("harl: unknown target %q (want cpu or gpu)", name)
+	return Target{}, fmt.Errorf("harl: unknown target %q (want %s)", name, strings.Join(hardware.PlatformNames(), " or "))
 }
+
+// Targets lists the accepted target platform names.
+func Targets() []string { return hardware.PlatformNames() }
 
 // Name returns the platform identifier.
 func (t Target) Name() string { return t.plat.Name }
@@ -163,7 +169,10 @@ type Options struct {
 	// Scheduler is a preset name: "harl" (default), "hierarchical-rl",
 	// "harl-nomab", "ansor", "flextensor", "autotvm" or "random".
 	Scheduler string
-	// Trials is the hardware-measurement budget (default 320).
+	// Trials is the hardware-measurement budget (0 selects the default of
+	// 320; a negative value performs no new measurements at all — the pure
+	// cache-replay path, useful with ResumeFrom to read back a prior best
+	// without spending a single trial).
 	Trials int
 	// MeasureK is the measured candidates per round (default 16).
 	MeasureK int
@@ -178,14 +187,27 @@ type Options struct {
 	// count; Workers == 0 (the default) keeps the legacy round-sequential
 	// network tuner with its SW-UCB subgraph bandit.
 	Workers int
+	// RecordLog, when non-empty, appends one JSONL tuning record per
+	// measured trial to this file (created if missing). Records arrive in
+	// measurement commit order, which is deterministic for every worker
+	// count, so journals of equal runs are byte-identical.
+	RecordLog string
+	// ResumeFrom, when non-empty, warm-starts the run from an existing
+	// record log: each workload is seeded with its best cached schedule for
+	// the target, which is never re-measured. It may name the same file as
+	// RecordLog (the log is read before tuning starts and only new
+	// measurements are appended).
+	ResumeFrom string
 }
 
 func (o Options) withDefaults() Options {
 	if o.Scheduler == "" {
 		o.Scheduler = "harl"
 	}
-	if o.Trials <= 0 {
+	if o.Trials == 0 {
 		o.Trials = 320
+	} else if o.Trials < 0 {
+		o.Trials = 0
 	}
 	if o.MeasureK <= 0 {
 		o.MeasureK = 16
@@ -212,6 +234,34 @@ type Result struct {
 	BestSchedule string
 	// BestLog is the best-so-far execution time after each trial.
 	BestLog []float64
+	// WarmStarted reports whether a cached record from Options.ResumeFrom
+	// seeded the run.
+	WarmStarted bool
+}
+
+// hooks resolves the Options journal fields into core tuning hooks plus a
+// close function for the opened journal (a no-op when none was opened). The
+// resume log is read before the record log is opened for append, so the two
+// may name the same file.
+func (o Options) hooks() (core.TuneHooks, func() error, error) {
+	var h core.TuneHooks
+	closeFn := func() error { return nil }
+	if o.ResumeFrom != "" {
+		db, err := tunelog.LoadFile(o.ResumeFrom)
+		if err != nil {
+			return h, closeFn, err
+		}
+		h.Warm = db
+	}
+	if o.RecordLog != "" {
+		jr, err := tunelog.OpenJournal(o.RecordLog)
+		if err != nil {
+			return h, closeFn, err
+		}
+		h.Journal = jr
+		closeFn = jr.Close
+	}
+	return h, closeFn, nil
 }
 
 // TuneOperator tunes one workload on a target.
@@ -225,7 +275,20 @@ func TuneOperator(w Workload, t Target, o Options) (Result, error) {
 	if workers == 0 {
 		workers = 1
 	}
-	res := core.TuneOperatorWorkers(w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed, workers)
+	hooks, closeJournal, err := o.hooks()
+	if err != nil {
+		return Result{}, err
+	}
+	res := core.TuneOperatorJournaled(w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed, workers, hooks)
+	if err := closeJournal(); err != nil {
+		return Result{}, err
+	}
+	if res.Task.Best == nil {
+		// Only reachable on a zero-trial cache replay whose log held no
+		// record for this (workload, target); fail loudly instead of
+		// returning an all-zero result.
+		return Result{}, fmt.Errorf("harl: no cached record for %s on %s in %q and no trial budget to measure", w.Name(), t.Name(), o.ResumeFrom)
+	}
 	out := Result{
 		Scheduler:     o.Scheduler,
 		ExecSeconds:   res.BestExec,
@@ -233,6 +296,7 @@ func TuneOperator(w Workload, t Target, o Options) (Result, error) {
 		Trials:        res.Trials,
 		SearchSeconds: res.CostSec,
 		BestLog:       append([]float64(nil), res.Task.BestLog...),
+		WarmStarted:   res.WarmStarted,
 	}
 	if res.Task.Best != nil {
 		out.BestSchedule = res.Task.Best.String()
@@ -259,6 +323,9 @@ type NetworkResult struct {
 	Trials           int
 	SearchSeconds    float64
 	Breakdown        []SubgraphReport
+	// WarmStarted is the number of subgraph tasks seeded from
+	// Options.ResumeFrom's cached records.
+	WarmStarted int
 }
 
 // TuneNetwork tunes one of the paper's networks ("bert", "resnet50",
@@ -276,18 +343,42 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 	default:
 		return NetworkResult{}, fmt.Errorf("harl: unknown network %q", name)
 	}
+	// Validate the scheduler preset before opening any journal file, so a bad
+	// name cannot leak an opened (and possibly newly created) record log.
+	if _, _, err := core.EngineFactory(o.Scheduler); err != nil {
+		return NetworkResult{}, err
+	}
+	hooks, closeJournal, err := o.hooks()
+	if err != nil {
+		return NetworkResult{}, err
+	}
 	if o.Workers != 0 {
 		pnt, err := core.NewParallelNetworkTuner(net, t.plat, o.Scheduler, o.MeasureK, o.Seed, o.Workers)
 		if err != nil {
+			closeJournal()
 			return NetworkResult{}, err
 		}
+		warmed := 0
+		if hooks.Warm != nil {
+			warmed = pnt.WarmStart(hooks.Warm)
+		}
+		if hooks.Journal != nil {
+			pnt.AttachJournal(hooks.Journal, o.Seed)
+		}
 		pnt.Run(o.Trials)
+		if err := closeJournal(); err != nil {
+			return NetworkResult{}, err
+		}
+		if o.Trials == 0 && warmed < len(net.Subgraphs) {
+			return NetworkResult{}, fmt.Errorf("harl: cache replay incomplete: %d of %d subgraphs have cached records in %q and there is no trial budget to measure the rest", warmed, len(net.Subgraphs), o.ResumeFrom)
+		}
 		out := NetworkResult{
 			Network:          net.Name,
 			EstimatedSeconds: pnt.EstimatedExec(),
 			MeasuredSeconds:  pnt.MeasuredExec(),
 			Trials:           pnt.Trials(),
 			SearchSeconds:    pnt.CostSec(),
+			WarmStarted:      warmed,
 		}
 		for i, b := range pnt.Breakdown() {
 			out.Breakdown = append(out.Breakdown, SubgraphReport{
@@ -302,16 +393,31 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 	}
 	sched, err := core.NewScheduler(o.Scheduler)
 	if err != nil {
+		closeJournal()
 		return NetworkResult{}, err
 	}
 	nt := core.NewNetworkTuner(net, t.plat, sched, o.MeasureK, o.Seed)
+	warmed := 0
+	if hooks.Warm != nil {
+		warmed = nt.WarmStart(hooks.Warm)
+	}
+	if hooks.Journal != nil {
+		nt.AttachJournal(hooks.Journal, o.Seed)
+	}
 	nt.Run(o.Trials)
+	if err := closeJournal(); err != nil {
+		return NetworkResult{}, err
+	}
+	if o.Trials == 0 && warmed < len(net.Subgraphs) {
+		return NetworkResult{}, fmt.Errorf("harl: cache replay incomplete: %d of %d subgraphs have cached records in %q and there is no trial budget to measure the rest", warmed, len(net.Subgraphs), o.ResumeFrom)
+	}
 	out := NetworkResult{
 		Network:          net.Name,
 		EstimatedSeconds: nt.EstimatedExec(),
 		MeasuredSeconds:  nt.MeasuredExec(),
 		Trials:           nt.Trials(),
 		SearchSeconds:    nt.Meas.CostSec(),
+		WarmStarted:      warmed,
 	}
 	for i, b := range nt.Breakdown() {
 		out.Breakdown = append(out.Breakdown, SubgraphReport{
@@ -414,3 +520,81 @@ func RunExperiment(id string, c ExperimentConfig, w io.Writer) error {
 	}
 	return nil
 }
+
+// WriteBenchSummary writes the machine-readable trace of one experiment run
+// as BENCH_<id>.json under dir and returns the file path. The summary embeds
+// the resolved configuration, wall-clock duration and the experiment's
+// rendered output so benchmark trajectories accumulate across runs.
+func WriteBenchSummary(dir, id string, c ExperimentConfig, duration time.Duration, output string) (string, error) {
+	return experiments.NewSummary(id, c.resolve(), duration, output).WriteFile(dir)
+}
+
+// Record is one measured tuning trial of a persistent record log (see the
+// record-log section of README.md for the schema).
+type Record struct {
+	// SchemaVersion is the record schema version (currently 1).
+	SchemaVersion int
+	// Workload is the workload fingerprint: the workload name plus a stable
+	// structural hash, transferable between runs and processes.
+	Workload string
+	// Target is the platform name the trial was measured on.
+	Target string
+	// Scheduler is the preset that produced the measurement.
+	Scheduler string
+	// Steps is the schedule's serialized transform steps; it round-trips
+	// byte-identically through a journal append/load cycle.
+	Steps string
+	// ExecSeconds is the noisy measured execution time.
+	ExecSeconds float64
+	// Trial is the task-local 1-based trial index.
+	Trial int
+	// Seed is the run's root random seed.
+	Seed uint64
+}
+
+func fromInternalRecord(r tunelog.Record) Record {
+	return Record{
+		SchemaVersion: r.V,
+		Workload:      r.Workload,
+		Target:        r.Target,
+		Scheduler:     r.Scheduler,
+		Steps:         r.Steps,
+		ExecSeconds:   r.ExecSec,
+		Trial:         r.Trial,
+		Seed:          r.Seed,
+	}
+}
+
+// LoadRecords reads a tuning-record log, returning its distinct records in
+// file order. Corrupt or truncated lines are skipped (a journal damaged by a
+// crash still yields its intact prefix), and exact duplicate appends collapse
+// to one record.
+func LoadRecords(path string) ([]Record, error) {
+	db, err := tunelog.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, db.Size())
+	for _, r := range db.Records() {
+		out = append(out, fromInternalRecord(r))
+	}
+	return out, nil
+}
+
+// BestRecord returns the lowest-execution-time record of the log for the
+// workload on the target, and whether one exists.
+func BestRecord(path string, w Workload, t Target) (Record, bool, error) {
+	db, err := tunelog.LoadFile(path)
+	if err != nil {
+		return Record{}, false, err
+	}
+	rec, ok := db.Best(w.sg.Fingerprint(), t.plat.Name)
+	if !ok {
+		return Record{}, false, nil
+	}
+	return fromInternalRecord(rec), true, nil
+}
+
+// Fingerprint returns the workload's stable record-log identity (the
+// Workload field of its Records).
+func (w Workload) Fingerprint() string { return w.sg.Fingerprint() }

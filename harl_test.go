@@ -1,10 +1,16 @@
 package harl
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTuneOperatorHappyPath(t *testing.T) {
@@ -279,5 +285,194 @@ func TestTuneNetworkParallelResultShape(t *testing.T) {
 	}
 	if _, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "nope", Workers: 2}); err == nil {
 		t.Fatal("unknown scheduler must error on the parallel path")
+	}
+}
+
+func TestRecordLogAndResume(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "tune.jsonl")
+	w := GEMM(128, 128, 128, 1)
+	o := Options{Scheduler: "harl", Trials: 48, Seed: 3, RecordLog: logPath}
+	res1, err := TuneOperator(w, CPU(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.WarmStarted {
+		t.Fatal("cold run must not report a warm start")
+	}
+
+	recs, err := LoadRecords(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != res1.Trials {
+		t.Fatalf("%d records for %d trials", len(recs), res1.Trials)
+	}
+	for _, r := range recs {
+		if r.Workload != w.Fingerprint() || r.SchemaVersion != 1 {
+			t.Fatalf("record %+v", r)
+		}
+	}
+	best, ok, err := BestRecord(logPath, w, CPU())
+	if err != nil || !ok {
+		t.Fatalf("best record missing (%v)", err)
+	}
+	if 1/best.ExecSeconds <= 0 {
+		t.Fatalf("degenerate best %+v", best)
+	}
+
+	// Pure cache replay: a negative trial budget plus -resume recovers the
+	// prior best exactly, measuring nothing.
+	res2, err := TuneOperator(w, CPU(), Options{Scheduler: "harl", Trials: -1, Seed: 3, ResumeFrom: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.WarmStarted || res2.Trials != 0 {
+		t.Fatalf("replay run: %+v", res2)
+	}
+	if res2.ExecSeconds != res1.ExecSeconds || res2.GFLOPS != res1.GFLOPS {
+		t.Fatalf("replay diverged: %+v vs %+v", res2, res1)
+	}
+	if res2.BestSchedule != res1.BestSchedule {
+		t.Fatalf("replay schedule %q want %q", res2.BestSchedule, res1.BestSchedule)
+	}
+
+	// Resuming while appending to the same file is allowed; the continued
+	// run can only improve on the cached best.
+	res3, err := TuneOperator(w, CPU(), Options{Scheduler: "harl", Trials: 32, Seed: 4, RecordLog: logPath, ResumeFrom: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.WarmStarted {
+		t.Fatal("same-file resume must warm-start")
+	}
+	recs2, err := LoadRecords(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != res1.Trials+res3.Trials {
+		t.Fatalf("log grew to %d records, want %d", len(recs2), res1.Trials+res3.Trials)
+	}
+}
+
+func TestRecordLogJournalsAreWorkerInvariant(t *testing.T) {
+	dir := t.TempDir()
+	run := func(workers int) []byte {
+		path := filepath.Join(dir, fmt.Sprintf("w%d.jsonl", workers))
+		_, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "harl", Trials: 330, Seed: 3, Workers: workers, RecordLog: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	j1, j8 := run(1), run(8)
+	if len(j1) == 0 {
+		t.Fatal("journal empty")
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatal("TuneNetwork journals diverged between workers=1 and workers=8")
+	}
+}
+
+func TestTuneNetworkResume(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "net.jsonl")
+	o := Options{Scheduler: "random", Trials: 330, Seed: 3, Workers: 2, RecordLog: logPath}
+	if _, err := TuneNetwork("bert", 1, CPU(), o); err != nil {
+		t.Fatal(err)
+	}
+	res, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "random", Trials: -1, Seed: 3, Workers: 2, ResumeFrom: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmStarted != 10 {
+		t.Fatalf("warm-started %d of 10 BERT subgraphs", res.WarmStarted)
+	}
+	if math.IsInf(res.EstimatedSeconds, 1) || res.Trials != 0 {
+		t.Fatalf("replay run: estimated=%g trials=%d", res.EstimatedSeconds, res.Trials)
+	}
+}
+
+func TestTargetByNameErrorListsPlatforms(t *testing.T) {
+	_, err := TargetByName("quantum")
+	if err == nil {
+		t.Fatal("unknown target must error")
+	}
+	for _, name := range Targets() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention %q", err, name)
+		}
+	}
+	for _, name := range Targets() {
+		if _, err := TargetByName(name); err != nil {
+			t.Fatalf("listed target %q must resolve: %v", name, err)
+		}
+	}
+}
+
+func TestWriteBenchSummary(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteBenchSummary(dir, "tab1", ExperimentConfig{}, time.Second, "row\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_tab1.json" {
+		t.Fatalf("summary path %q", path)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["experiment"] != "tab1" || got["output"] != "row\n" {
+		t.Fatalf("summary %v", got)
+	}
+	if got["duration_ms"].(float64) != 1000 {
+		t.Fatalf("duration %v", got["duration_ms"])
+	}
+}
+
+func TestLoadRecordsMissingFile(t *testing.T) {
+	if _, err := LoadRecords(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("missing log must error")
+	}
+	if _, _, err := BestRecord(filepath.Join(t.TempDir(), "absent.jsonl"), GEMM(8, 8, 8, 1), CPU()); err == nil {
+		t.Fatal("missing log must error")
+	}
+}
+
+func TestReplayCacheMissErrors(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.jsonl")
+	if _, err := TuneOperator(GEMM(64, 64, 64, 1), CPU(), Options{Scheduler: "random", Trials: 16, RecordLog: logPath}); err != nil {
+		t.Fatal(err)
+	}
+	// A different shape misses the cache; with no trial budget the replay
+	// must fail loudly instead of returning an all-zero result.
+	if _, err := TuneOperator(GEMM(128, 64, 64, 1), CPU(), Options{Trials: -1, ResumeFrom: logPath}); err == nil {
+		t.Fatal("operator replay cache miss must error")
+	}
+	if _, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "random", Trials: -1, Workers: 2, ResumeFrom: logPath}); err == nil {
+		t.Fatal("network replay cache miss must error")
+	}
+	if _, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "random", Trials: -1, ResumeFrom: logPath}); err == nil {
+		t.Fatal("serial network replay cache miss must error")
+	}
+}
+
+func TestTuneNetworkBadSchedulerDoesNotCreateLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.jsonl")
+	if _, err := TuneNetwork("bert", 1, CPU(), Options{Scheduler: "bogus", RecordLog: path, Workers: 2}); err == nil {
+		t.Fatal("bad scheduler must error")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("bad scheduler run must not create the record log")
 	}
 }

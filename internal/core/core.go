@@ -17,8 +17,10 @@ import (
 	"fmt"
 
 	"harl/internal/hardware"
+	"harl/internal/schedule"
 	"harl/internal/search"
 	"harl/internal/texpr"
+	"harl/internal/tunelog"
 	"harl/internal/xrand"
 )
 
@@ -119,6 +121,47 @@ type OperatorResult struct {
 	// CostSec is the total simulated search time.
 	CostSec float64
 	Task    *search.Task
+	// WarmStarted reports whether a cached record seeded the run.
+	WarmStarted bool
+}
+
+// TuneHooks wires a tuning run to the persistent tuning-record journal
+// (internal/tunelog). The zero value disables both directions.
+type TuneHooks struct {
+	// Journal, when non-nil, receives one record per committed measurement,
+	// in commit order (deterministic for every worker count).
+	Journal *tunelog.Journal
+	// Warm, when non-nil, seeds each task from its best cached record before
+	// tuning starts, so an already-tuned workload converges immediately and
+	// its best schedule is never re-measured.
+	Warm *tunelog.Database
+}
+
+// attachJournal wires a task's measurement callback to the journal. The
+// scheduler preset name, target and run seed are stamped into every record;
+// the workload fingerprint is hashed once, not per trial.
+func attachJournal(t *search.Task, jr *tunelog.Journal, scheduler string, seed uint64) {
+	fp, target := t.Graph.Fingerprint(), t.Plat.Name
+	t.OnMeasure = func(s *schedule.Schedule, exec float64, trial int) {
+		jr.Append(tunelog.NewRecordFP(fp, target, scheduler, s, exec, trial, seed))
+	}
+}
+
+// warmStartTask seeds a task from the database's best record for its
+// (workload fingerprint, target) key, reporting whether a usable record was
+// found. Records whose steps no longer deserialize against the regenerated
+// sketch list (a foreign or stale log) are ignored.
+func warmStartTask(t *search.Task, db *tunelog.Database) bool {
+	rec, ok := db.Best(t.Graph.Fingerprint(), t.Plat.Name)
+	if !ok {
+		return false
+	}
+	s, err := rec.Schedule(t.Sketches)
+	if err != nil {
+		return false
+	}
+	t.WarmStart(s, rec.ExecSec)
+	return true
 }
 
 // TuneOperator runs a scheduler preset on a single subgraph with the given
@@ -132,6 +175,15 @@ func TuneOperator(sg *texpr.Subgraph, plat *hardware.Platform, sched *Scheduler,
 // (<= 0 selects runtime.NumCPU()). Results are byte-identical for every
 // worker count; only wall-clock time changes.
 func TuneOperatorWorkers(sg *texpr.Subgraph, plat *hardware.Platform, sched *Scheduler, budget, measureK int, seed uint64, workers int) *OperatorResult {
+	return TuneOperatorJournaled(sg, plat, sched, budget, measureK, seed, workers, TuneHooks{})
+}
+
+// TuneOperatorJournaled is TuneOperatorWorkers with journal hooks: measured
+// trials are appended to hooks.Journal in commit order, and hooks.Warm seeds
+// the task from its best cached record before the engine runs. A budget of 0
+// with a warm hit performs no measurements and returns the cached best — the
+// pure cache-replay path.
+func TuneOperatorJournaled(sg *texpr.Subgraph, plat *hardware.Platform, sched *Scheduler, budget, measureK int, seed uint64, workers int, hooks TuneHooks) *OperatorResult {
 	rng := xrand.New(seed)
 	sim := hardware.NewSimulator(plat)
 	meas := hardware.NewMeasurer(sim, rng.Split())
@@ -139,13 +191,21 @@ func TuneOperatorWorkers(sg *texpr.Subgraph, plat *hardware.Platform, sched *Sch
 	if workers != 1 {
 		task.Pool = search.NewParallelPool(workers)
 	}
+	warm := false
+	if hooks.Warm != nil {
+		warm = warmStartTask(task, hooks.Warm)
+	}
+	if hooks.Journal != nil {
+		attachJournal(task, hooks.Journal, sched.Name, seed)
+	}
 	search.Tune(sched.Engine, task, budget, measureK)
 
 	res := &OperatorResult{
-		Scheduler: sched.Name,
-		Trials:    task.Trials,
-		CostSec:   meas.CostSec(),
-		Task:      task,
+		Scheduler:   sched.Name,
+		Trials:      task.Trials,
+		CostSec:     meas.CostSec(),
+		Task:        task,
+		WarmStarted: warm,
 	}
 	if task.Best != nil {
 		res.BestExec = sim.Exec(task.Best)

@@ -6,6 +6,7 @@ import (
 	"harl/internal/bandit"
 	"harl/internal/hardware"
 	"harl/internal/search"
+	"harl/internal/tunelog"
 	"harl/internal/workload"
 	"harl/internal/xrand"
 )
@@ -82,6 +83,27 @@ func NewNetworkTuner(net *workload.Network, plat *hardware.Platform, sched *Sche
 
 // Trials returns the cumulative number of measurements across all tasks.
 func (nt *NetworkTuner) Trials() int { return nt.Meas.Trials() }
+
+// AttachJournal wires every task's measurement callback to the journal.
+// Rounds are sequential across tasks in the serial tuner, so the record
+// sequence is simply the global commit order.
+func (nt *NetworkTuner) AttachJournal(jr *tunelog.Journal, seed uint64) {
+	for _, t := range nt.Tasks {
+		attachJournal(t, jr, nt.Sched.Name, seed)
+	}
+}
+
+// WarmStart seeds every task from its best cached record and returns the
+// number of tasks seeded.
+func (nt *NetworkTuner) WarmStart(db *tunelog.Database) int {
+	n := 0
+	for _, t := range nt.Tasks {
+		if warmStartTask(t, db) {
+			n++
+		}
+	}
+	return n
+}
 
 // SetWorkers gives every task a shared worker pool for intra-round
 // parallelism (trial evaluation and cost-model scoring). Rounds stay

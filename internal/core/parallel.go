@@ -5,6 +5,7 @@ import (
 
 	"harl/internal/hardware"
 	"harl/internal/search"
+	"harl/internal/tunelog"
 	"harl/internal/workload"
 )
 
@@ -24,6 +25,8 @@ import (
 type ParallelNetworkTuner struct {
 	Net *workload.Network
 	MT  *search.MultiTuner
+	// SchedName is the scheduler preset name stamped into journal records.
+	SchedName string
 }
 
 // NewParallelNetworkTuner builds the concurrent tuner for a scheduler preset
@@ -43,9 +46,37 @@ func NewParallelNetworkTuner(net *workload.Network, plat *hardware.Platform, sch
 	}
 	tasks := search.NewTaskSet(net.Subgraphs, plat, seed)
 	return &ParallelNetworkTuner{
-		Net: net,
-		MT:  search.NewMultiTuner(tasks, mk, cfg),
+		Net:       net,
+		MT:        search.NewMultiTuner(tasks, mk, cfg),
+		SchedName: schedName,
 	}, nil
+}
+
+// AttachJournal routes every committed measurement to the journal through the
+// MultiTuner's wave-barrier fan-in: per-task records buffer during the wave
+// and drain in selection order, so the journal is byte-identical for every
+// worker count.
+func (p *ParallelNetworkTuner) AttachJournal(jr *tunelog.Journal, seed uint64) {
+	fps := make([]string, len(p.MT.Tasks))
+	for i, t := range p.MT.Tasks {
+		fps[i] = t.Graph.Fingerprint()
+	}
+	p.MT.SetRecorder(func(r search.TrialRecord) {
+		t := p.MT.Tasks[r.Task]
+		jr.Append(tunelog.NewRecordFP(fps[r.Task], t.Plat.Name, p.SchedName, r.Sched, r.Exec, r.Trial, seed))
+	})
+}
+
+// WarmStart seeds every task from its best cached record and returns the
+// number of tasks seeded.
+func (p *ParallelNetworkTuner) WarmStart(db *tunelog.Database) int {
+	n := 0
+	for _, t := range p.MT.Tasks {
+		if warmStartTask(t, db) {
+			n++
+		}
+	}
+	return n
 }
 
 // Run tunes until the measurement budget is exhausted.

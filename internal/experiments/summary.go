@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Summary is the machine-readable trace of one experiment run, written as
+// BENCH_<experiment>.json so benchmark trajectories accumulate across runs
+// (and across CI, which uploads these files as workflow artifacts).
+type Summary struct {
+	Experiment string `json:"experiment"`
+	// Config echoes the resolved experiment configuration so a summary is
+	// comparable only against runs of the same budget.
+	Seed               uint64  `json:"seed"`
+	OperatorBudget     int     `json:"operator_budget"`
+	MeasureK           int     `json:"measure_k"`
+	ConfigsPerCategory int     `json:"configs_per_category"`
+	Batches            []int   `json:"batches"`
+	NetworkBudgetScale float64 `json:"network_budget_scale"`
+	Workers            int     `json:"workers"`
+	// DurationMS is the wall-clock runtime of the experiment.
+	DurationMS float64 `json:"duration_ms"`
+	// Output is the experiment's rendered table/figure text — the same rows
+	// a human sees, kept verbatim so traces are diffable run to run (the
+	// rows are seed-deterministic; only DurationMS varies).
+	Output string `json:"output"`
+}
+
+// NewSummary builds the summary of one finished experiment.
+func NewSummary(id string, cfg Config, duration time.Duration, output string) Summary {
+	return Summary{
+		Experiment:         id,
+		Seed:               cfg.Seed,
+		OperatorBudget:     cfg.OperatorBudget,
+		MeasureK:           cfg.MeasureK,
+		ConfigsPerCategory: cfg.ConfigsPerCategory,
+		Batches:            cfg.Batches,
+		NetworkBudgetScale: cfg.NetworkBudgetScale,
+		Workers:            cfg.Workers,
+		DurationMS:         float64(duration.Microseconds()) / 1e3,
+		Output:             output,
+	}
+}
+
+// WriteFile writes the summary as BENCH_<experiment>.json under dir
+// (created if missing) and returns the file path.
+func (s Summary) WriteFile(dir string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: summary dir: %w", err)
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: marshal summary: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+s.Experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("experiments: write summary: %w", err)
+	}
+	return path, nil
+}

@@ -111,13 +111,33 @@ func GPURTX3090() *Platform {
 	}
 }
 
-// ByName resolves "cpu" or "gpu" (or a full platform name) to a Platform.
+// platformRegistry maps every accepted short name to its constructor, in
+// presentation order. New platforms register here; PlatformNames and ByName
+// both derive from it so error messages can never drift from the actual set.
+var platformRegistry = []struct {
+	short, full string
+	mk          func() *Platform
+}{
+	{"cpu", "cpu-xeon6226r", CPUXeon6226R},
+	{"gpu", "gpu-rtx3090", GPURTX3090},
+}
+
+// PlatformNames lists the accepted short platform names in registry order.
+func PlatformNames() []string {
+	out := make([]string, len(platformRegistry))
+	for i, e := range platformRegistry {
+		out[i] = e.short
+	}
+	return out
+}
+
+// ByName resolves a short name ("cpu", "gpu") or a full platform name to a
+// Platform, or nil if unknown.
 func ByName(name string) *Platform {
-	switch name {
-	case "cpu", "cpu-xeon6226r":
-		return CPUXeon6226R()
-	case "gpu", "gpu-rtx3090":
-		return GPURTX3090()
+	for _, e := range platformRegistry {
+		if name == e.short || name == e.full {
+			return e.mk()
+		}
 	}
 	return nil
 }

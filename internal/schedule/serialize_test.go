@@ -1,0 +1,91 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"harl/internal/sketch"
+	"harl/internal/workload"
+	"harl/internal/xrand"
+)
+
+func TestMarshalStepsRoundTrip(t *testing.T) {
+	// Marshal → Unmarshal → Marshal must be byte-identical for random
+	// schedules of every sketch of several workloads.
+	for _, sg := range []*struct {
+		name     string
+		sketches []*sketch.Sketch
+	}{
+		{"gemm", sketch.Generate(workload.GEMM("g", 1, 256, 512, 128))},
+		{"c2d", sketch.Generate(workload.Conv2D("c", 1, 28, 28, 64, 64, 3, 1, 1))},
+		{"gemm+ep", sketch.Generate(workload.GEMMEpilogue("ge", 1, 128, 128, 128, 2))},
+	} {
+		rng := xrand.New(11)
+		for _, sk := range sg.sketches {
+			for i := 0; i < 16; i++ {
+				s := NewRandom(sk, 4, rng)
+				steps := s.MarshalSteps()
+				back, err := UnmarshalSteps(sg.sketches, steps)
+				if err != nil {
+					t.Fatalf("%s sketch %d: %v (steps %q)", sg.name, sk.ID, err, steps)
+				}
+				if got := back.MarshalSteps(); got != steps {
+					t.Fatalf("%s: round trip %q -> %q", sg.name, steps, got)
+				}
+				if back.Key() != s.Key() {
+					t.Fatalf("%s: schedule identity drifted through serialization", sg.name)
+				}
+				if err := back.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestMarshalStepsIsCanonical(t *testing.T) {
+	// Equal search-space points marshal equal; any knob change marshals
+	// differently.
+	sk := gemmSketch(t)
+	rng := xrand.New(5)
+	s := NewRandom(sk, 4, rng)
+	if s.MarshalSteps() != s.Clone().MarshalSteps() {
+		t.Fatal("clone must marshal identically")
+	}
+	mut := s.Clone()
+	mut.UnrollIdx = (mut.UnrollIdx + 1) % mut.NumUnroll
+	if mut.MarshalSteps() == s.MarshalSteps() {
+		t.Fatal("distinct schedules must marshal differently")
+	}
+}
+
+func TestUnmarshalStepsRejectsGarbage(t *testing.T) {
+	sketches := sketch.Generate(workload.GEMM("g", 1, 64, 64, 64))
+	good := NewRandom(sketches[0], 4, xrand.New(1)).MarshalSteps()
+	bad := []string{
+		"",                                   // no sketch id
+		"sk=99 ca=0 pf=0 ur=0/4",             // sketch out of range
+		"sk=0 ca=0 pf=0 ur=0",                // malformed unroll
+		"sk=0 s1=2,2 ca=0 pf=0 ur=0/4",       // tile row out of order
+		"sk=0 zz=1",                          // unknown token
+		"sk=0 s0=a,b,c,d ca=0 pf=0 ur=0/4",   // non-numeric tiles
+		strings.Replace(good, "sk=0", "", 1), // sketch id stripped
+	}
+	for _, steps := range bad {
+		if _, err := UnmarshalSteps(sketches, steps); err == nil {
+			t.Fatalf("steps %q must be rejected", steps)
+		}
+	}
+	// A structurally valid encoding whose products mismatch the extents must
+	// fail validation rather than load silently.
+	wrong := strings.Replace(good, "ur=", "ur=", 1) // keep good; mutate a tile row below
+	parts := strings.Fields(wrong)
+	for i, p := range parts {
+		if strings.HasPrefix(p, "s0=") {
+			parts[i] = "s0=1,1,1,7" // 7 does not divide 64
+		}
+	}
+	if _, err := UnmarshalSteps(sketches, strings.Join(parts, " ")); err == nil {
+		t.Fatal("extent-product mismatch must be rejected")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"harl/internal/hardware"
+	"harl/internal/schedule"
 	"harl/internal/texpr"
 	"harl/internal/xrand"
 )
@@ -78,6 +79,19 @@ type MultiTuner struct {
 	gHist       [][]float64 // per task: weighted best exec after each round
 	rrNext      int
 	History     []WaveSnapshot
+
+	record  func(TrialRecord)
+	pending [][]TrialRecord // per task: records buffered until the wave barrier
+}
+
+// TrialRecord is one committed measurement of a multi-task run, tagged with
+// the index of the task that measured it.
+type TrialRecord struct {
+	Task  int
+	Sched *schedule.Schedule
+	Exec  float64
+	// Trial is the task-local 1-based trial index.
+	Trial int
 }
 
 // NewTaskSet builds one task per subgraph on the platform, each with its own
@@ -118,6 +132,37 @@ func NewMultiTuner(tasks []*Task, mkEngine func() Engine, cfg MultiTunerConfig) 
 		mt.Engines = append(mt.Engines, mkEngine())
 	}
 	return mt
+}
+
+// SetRecorder installs fn to receive every committed measurement of every
+// task. Within a task, records arrive in commit order (MeasureBatch commits
+// serially); across tasks they are fanned in at wave barriers in wave
+// selection order, so the full record sequence is deterministic — journals
+// written through fn are byte-identical for every worker count. It replaces
+// each task's OnMeasure callback and must be called before Run.
+func (mt *MultiTuner) SetRecorder(fn func(TrialRecord)) {
+	mt.record = fn
+	mt.pending = make([][]TrialRecord, len(mt.Tasks))
+	for i, t := range mt.Tasks {
+		i, t := i, t
+		t.OnMeasure = func(s *schedule.Schedule, exec float64, trial int) {
+			mt.pending[i] = append(mt.pending[i], TrialRecord{Task: i, Sched: s, Exec: exec, Trial: trial})
+		}
+	}
+}
+
+// drainRecords flushes the buffered records of the selected tasks to the
+// recorder, in selection order (the deterministic fan-in point).
+func (mt *MultiTuner) drainRecords(sel []int) {
+	if mt.record == nil {
+		return
+	}
+	for _, a := range sel {
+		for _, r := range mt.pending[a] {
+			mt.record(r)
+		}
+		mt.pending[a] = mt.pending[a][:0]
+	}
 }
 
 // Trials returns the cumulative measurement count across all tasks.
@@ -288,6 +333,7 @@ func (mt *MultiTuner) wave(width, remaining int) []int {
 			t.ExploreRandom(caps[j])
 		}
 	})
+	mt.drainRecords(sel)
 	for _, a := range sel {
 		mt.allocations[a]++
 		mt.gHist[a] = append(mt.gHist[a], mt.Tasks[a].WeightedBestExec())

@@ -40,6 +40,14 @@ type Task struct {
 	// results (see ParallelPool).
 	Pool *ParallelPool
 
+	// OnMeasure, when set, receives every committed measurement — the
+	// schedule, its noisy execution time and the task-local 1-based trial
+	// index — in commit order. MeasureBatch commits serially in batch input
+	// order regardless of the pool width, so the callback sequence is
+	// byte-identical for every worker count. Warm-started schedules are not
+	// replayed through it: it records new measurements only.
+	OnMeasure func(s *schedule.Schedule, execSec float64, trial int)
+
 	// Best measured schedule and its noisy execution time.
 	Best     *schedule.Schedule
 	BestExec float64
@@ -127,11 +135,34 @@ func (t *Task) MeasureBatch(scheds []*schedule.Schedule) []float64 {
 		t.BestLog = append(t.BestLog, t.BestExec)
 		t.TrialCost = append(t.TrialCost, t.Meas.CostSec())
 		t.Cost.Add(s.Features(), math.Log(1/exec))
+		if t.OnMeasure != nil {
+			t.OnMeasure(s, exec, t.Trials)
+		}
 	}
 	if len(jobs) > 0 {
 		t.Cost.Refit()
 	}
 	return out
+}
+
+// WarmStart seeds the task with a previously measured schedule and its
+// recorded noisy execution time — the cache-reuse path of the tuning-record
+// journal. The schedule is marked measured (engines will not spend a trial
+// re-measuring it), becomes the task best if it beats the current one, and
+// primes the cost model so the first engine round starts from a trained
+// reward signal instead of a cold model. It charges no measurement trial and
+// appends nothing to the best-so-far logs: those track new measurements only.
+func (t *Task) WarmStart(s *schedule.Schedule, execSec float64) {
+	if s == nil || execSec <= 0 {
+		return
+	}
+	t.measured[s.Key()] = true
+	if execSec < t.BestExec {
+		t.BestExec = execSec
+		t.Best = s
+	}
+	t.Cost.Add(s.Features(), math.Log(1/execSec))
+	t.Cost.Refit()
 }
 
 // Score returns the cost model's positive performance score C(s) for the

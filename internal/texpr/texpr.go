@@ -349,6 +349,46 @@ func (g *Subgraph) FLOPs() float64 {
 	return total
 }
 
+// Fingerprint returns a stable identity of the subgraph for tuning-record
+// logs: the subgraph name plus an FNV-1a hash over the canonical structure
+// (stage names, kinds, iteration extents, FLOP densities, capability flags and
+// access patterns). Two subgraphs share a fingerprint exactly when a schedule
+// of one is a valid schedule of the other with the same simulated performance,
+// so cached tuning records are transferable between them. Weight is excluded:
+// it scales the network-level objective, not the schedule space.
+func (g *Subgraph) Fingerprint() string {
+	var b strings.Builder
+	for _, st := range g.Stages {
+		fmt.Fprintf(&b, "|%s:%d:%g:%d%d%d:%d", st.Name, st.Kind, st.FLOPsPerPoint,
+			b2i(st.HasDataReuse), b2i(st.CanInline), b2i(st.HasReductionParallel), st.OutElemBytes)
+		for _, it := range st.Spatial {
+			fmt.Fprintf(&b, ",s%d", it.Extent)
+		}
+		for _, it := range st.Reduce {
+			fmt.Fprintf(&b, ",r%d", it.Extent)
+		}
+		for _, a := range st.Inputs {
+			fmt.Fprintf(&b, ";%s:%s:%d", a.Tensor, a.Producer, a.ElemBytes)
+			for _, d := range a.Dims {
+				fmt.Fprintf(&b, ",%d:%t:%d:%d", d.Iter, d.Reduce, d.Scale, d.Offset)
+			}
+		}
+	}
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(b.String()) {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%s@%016x", g.Name, h)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // StageIndex returns the index of the named stage, or -1.
 func (g *Subgraph) StageIndex(name string) int {
 	for i, st := range g.Stages {

@@ -175,3 +175,31 @@ func TestElemBytesDefault(t *testing.T) {
 		t.Fatalf("fp16 output bytes %d", st.OutputBytes())
 	}
 }
+
+func TestFingerprintStableAndStructural(t *testing.T) {
+	g1 := MustSubgraph("g", 1, gemmStage(16, 16, 16))
+	g2 := MustSubgraph("g", 1, gemmStage(16, 16, 16))
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("identical structures must share a fingerprint")
+	}
+	if !strings.HasPrefix(g1.Fingerprint(), "g@") {
+		t.Fatalf("fingerprint %q must embed the name", g1.Fingerprint())
+	}
+	// Weight scales the network objective, not the schedule space: records
+	// must transfer between weight variants.
+	g3 := MustSubgraph("g", 7, gemmStage(16, 16, 16))
+	if g3.Fingerprint() != g1.Fingerprint() {
+		t.Fatal("weight must not change the fingerprint")
+	}
+	// Any structural difference must change it.
+	g4 := MustSubgraph("g", 1, gemmStage(16, 32, 16))
+	if g4.Fingerprint() == g1.Fingerprint() {
+		t.Fatal("extent change must change the fingerprint")
+	}
+	st := gemmStage(16, 16, 16)
+	st.HasReductionParallel = true
+	g5 := MustSubgraph("g", 1, st)
+	if g5.Fingerprint() == g1.Fingerprint() {
+		t.Fatal("capability-flag change must change the fingerprint")
+	}
+}

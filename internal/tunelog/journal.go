@@ -1,0 +1,92 @@
+package tunelog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal appends tuning records to a log file (or any writer) as JSONL.
+// Append is safe for concurrent use, but callers that need byte-identical
+// journals across worker counts must append in a deterministic order — the
+// tuning stack does: search.Task commits measurements serially in batch input
+// order, and search.MultiTuner drains per-task record buffers at wave
+// barriers in selection order.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer // nil when wrapping a plain writer
+	err error     // first write error, sticky
+	n   int       // records appended
+}
+
+// OpenJournal opens (creating if needed) a journal file for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tunelog: open journal: %w", err)
+	}
+	return &Journal{w: f, c: f}, nil
+}
+
+// NewJournal wraps an arbitrary writer (tests, in-memory journals).
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Append writes one record as a JSONL line. The first error encountered is
+// returned and retained (Err) so fire-and-forget callers inside measurement
+// callbacks can check once at the end of a run.
+func (j *Journal) Append(r Record) error {
+	line, err := r.MarshalLine()
+	if err != nil {
+		return j.fail(err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.err = fmt.Errorf("tunelog: append: %w", err)
+		return j.err
+	}
+	j.n++
+	return nil
+}
+
+func (j *Journal) fail(err error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Len returns the number of records appended through this journal.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and closes the underlying file (a no-op for plain writers)
+// and returns any retained write error.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.c != nil {
+		if err := j.c.Close(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("tunelog: close journal: %w", err)
+		}
+		j.c = nil
+	}
+	return j.err
+}
