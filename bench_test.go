@@ -270,6 +270,68 @@ func BenchmarkCostModelPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkRefit measures a full GBDT refit across training-set sizes — the
+// cost that offline pretraining pays once up front and every measurement
+// round pays again online.
+func BenchmarkRefit(b *testing.B) {
+	for _, n := range []int{128, 512, 2048} {
+		b.Run(fmt.Sprintf("samples-%d", n), func(b *testing.B) {
+			rng := xrand.New(1)
+			m := costmodel.New(costmodel.DefaultParams())
+			for i := 0; i < n; i++ {
+				x := make([]float64, 24)
+				y := 0.0
+				for j := range x {
+					x[j] = rng.Float64()
+					y += x[j] * float64(j%5)
+				}
+				m.Add(x, y)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Refit()
+			}
+		})
+	}
+}
+
+// BenchmarkPredictBatch measures the batched prediction path (one hot tree
+// at a time over the whole feature matrix) against the sequential
+// per-sample loop it replaced.
+func BenchmarkPredictBatch(b *testing.B) {
+	rng := xrand.New(1)
+	m := costmodel.New(costmodel.DefaultParams())
+	for i := 0; i < 512; i++ {
+		x := make([]float64, 24)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		m.Add(x, x[0]+2*x[1])
+	}
+	m.Refit()
+	batch := make([][]float64, 256)
+	for i := range batch {
+		x := make([]float64, 24)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		batch[i] = x
+	}
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = m.PredictBatch(batch)
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		out := make([]float64, len(batch))
+		for i := 0; i < b.N; i++ {
+			for j, x := range batch {
+				out[j] = m.Predict(x)
+			}
+		}
+	})
+}
+
 // BenchmarkPPOStep measures one policy query plus one training tick.
 func BenchmarkPPOStep(b *testing.B) {
 	rng := xrand.New(1)

@@ -1,0 +1,83 @@
+// Command harl-train fits a cost model offline from a persistent
+// tuning-record journal and writes it as a versioned checkpoint artifact —
+// the committed-journal → reusable-model half of the offline-pretraining
+// workflow (the other half is harl-tune -model-in, or -pretrain straight
+// from the journal).
+//
+// The journal stores serialized schedule steps, not features; harl-train
+// regenerates the features deterministically (sketch generation and step
+// decoding are both canonical), so the same journal always produces a
+// byte-identical model checkpoint.
+//
+// Usage:
+//
+//	harl-train -log tune.jsonl -op gemm -shape 256,256,256 -out model.json
+//	harl-train -log bert.jsonl -network bert -batch 1 -out model.json
+//	harl-tune  -op gemm -shape 256,256,256 -model-in model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harl"
+)
+
+func main() {
+	logPath := flag.String("log", "", "tuning-record journal to replay (required)")
+	out := flag.String("out", "model.json", "checkpoint artifact to write")
+	op := flag.String("op", "", "operator kind the journal was tuned on: gemm, c1d, c2d, c3d, t2d")
+	shape := flag.String("shape", "", "comma-separated operator shape (as in harl-tune)")
+	network := flag.String("network", "", "network the journal was tuned on: bert, resnet50, mobilenetv2")
+	batch := flag.Int("batch", 1, "batch size")
+	target := flag.String("target", "cpu", "target platform the records were measured on: "+strings.Join(harl.Targets(), ", "))
+	flag.Parse()
+
+	if *logPath == "" {
+		fatal(fmt.Errorf("missing -log"))
+	}
+	tgt, err := harl.TargetByName(*target)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ws []harl.Workload
+	switch {
+	case *network != "":
+		ws, err = harl.NetworkWorkloads(*network, *batch)
+		if err != nil {
+			fatal(err)
+		}
+	case *op != "":
+		dims, err := harl.ParseShape(*shape)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := harl.OperatorWorkload(*op, dims, *batch)
+		if err != nil {
+			fatal(err)
+		}
+		ws = []harl.Workload{w}
+	default:
+		fatal(fmt.Errorf("need -op/-shape or -network to identify the journal's workloads"))
+	}
+
+	st, err := harl.TrainModel(*logPath, ws, tgt, *out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d record(s) across %d workload(s) from %s", st.Records, st.Workloads, *logPath)
+	if st.Skipped > 0 {
+		fmt.Printf(" (%d skipped)", st.Skipped)
+	}
+	fmt.Println()
+	fmt.Printf("model: %d training samples, trained=%v\n", st.Samples, st.Trained)
+	fmt.Printf("checkpoint: %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harl-train:", err)
+	os.Exit(1)
+}

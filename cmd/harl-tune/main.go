@@ -7,18 +7,20 @@
 //	harl-tune -op c2d  -shape 56,56,64,64,3,1,1 -batch 16
 //	harl-tune -network bert -batch 1 -trials 600 -scheduler ansor
 //
-// Every measured trial can be journaled to a persistent record log, and a
-// later run can warm-start from it (see the record-log section of README.md):
+// Every measured trial can be journaled to a persistent record log, a later
+// run can warm-start from it, and the cost model can be pretrained offline or
+// checkpointed across runs (see the cost-model section of README.md):
 //
 //	harl-tune -op gemm -shape 1024,1024,1024 -log tune.jsonl
 //	harl-tune -op gemm -shape 1024,1024,1024 -resume tune.jsonl -trials -1
+//	harl-tune -op gemm -shape 1024,1024,1024 -pretrain tune.jsonl
+//	harl-tune -op gemm -shape 1024,1024,1024 -model-in model.json -model-out model.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"harl"
@@ -36,6 +38,9 @@ func main() {
 	workers := flag.Int("workers", 0, "tuning worker pool size: 0 = the legacy serial tuner (default), N >= 1 = the concurrent scheduler with N workers (identical results for every N), -1 = all CPU cores")
 	logPath := flag.String("log", "", "append one JSONL tuning record per measured trial to this file")
 	resume := flag.String("resume", "", "warm-start from the best cached schedules of this record log (may equal -log)")
+	pretrainLog := flag.String("pretrain", "", "pretrain the cost model by replaying this record log before search (model-only; may equal -log or -resume)")
+	modelIn := flag.String("model-in", "", "load a cost-model checkpoint (from -model-out or harl-train) before search")
+	modelOut := flag.String("model-out", "", "save the trained cost-model checkpoint after tuning")
 	flag.Parse()
 
 	tgt, err := harl.TargetByName(*target)
@@ -43,7 +48,8 @@ func main() {
 		fatal(err)
 	}
 	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed, Workers: *workers,
-		RecordLog: *logPath, ResumeFrom: *resume}
+		RecordLog: *logPath, ResumeFrom: *resume,
+		PretrainFrom: *pretrainLog, ModelIn: *modelIn, ModelOut: *modelOut}
 
 	if *network != "" {
 		res, err := harl.TuneNetwork(*network, *batch, tgt, opts)
@@ -55,6 +61,11 @@ func main() {
 		if res.WarmStarted > 0 {
 			fmt.Printf("warm-started %d subgraph(s) from %s\n", res.WarmStarted, *resume)
 		}
+		fmt.Printf("cost model: %d training samples across %d subgraph models, %d refits, pretrained %d task(s)\n",
+			res.CostModelSamples, len(res.Breakdown), res.CostModelRefits, res.Pretrained)
+		if *modelOut != "" {
+			fmt.Printf("cost model checkpoint (merged over the compatible subgraphs): %s\n", *modelOut)
+		}
 		fmt.Printf("%-18s %-7s %-12s %-8s %s\n", "subgraph", "weight", "exec(us)", "trials", "contribution")
 		for _, b := range res.Breakdown {
 			fmt.Printf("%-18s %-7d %-12.1f %-8d %.1f%%\n", b.Name, b.Weight, b.ExecSeconds*1e6, b.Trials, b.Contribution*100)
@@ -62,29 +73,16 @@ func main() {
 		return
 	}
 
-	dims, err := parseShape(*shape)
+	dims, err := harl.ParseShape(*shape)
 	if err != nil {
 		fatal(err)
 	}
-	var w harl.Workload
-	switch *op {
-	case "gemm":
-		need(dims, 3)
-		w = harl.GEMM(dims[0], dims[1], dims[2], *batch)
-	case "c1d":
-		need(dims, 6)
-		w = harl.Conv1D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], *batch)
-	case "c2d":
-		need(dims, 7)
-		w = harl.Conv2D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], *batch)
-	case "c3d":
-		need(dims, 8)
-		w = harl.Conv3D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], dims[7], *batch)
-	case "t2d":
-		need(dims, 7)
-		w = harl.ConvT2D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], *batch)
-	default:
-		fatal(fmt.Errorf("unknown -op %q and no -network given", *op))
+	if *op == "" {
+		fatal(fmt.Errorf("missing -op (and no -network given)"))
+	}
+	w, err := harl.OperatorWorkload(*op, dims, *batch)
+	if err != nil {
+		fatal(err)
 	}
 
 	res, err := harl.TuneOperator(w, tgt, opts)
@@ -97,29 +95,12 @@ func main() {
 	}
 	fmt.Printf("  best program: %.4f ms (%.1f GFLOP/s)\n", res.ExecSeconds*1e3, res.GFLOPS)
 	fmt.Printf("  trials: %d, simulated search time: %.0f s\n", res.Trials, res.SearchSeconds)
+	fmt.Printf("  cost model: %d training samples, %d refits, pretrained=%v\n",
+		res.CostModelSamples, res.CostModelRefits, res.Pretrained)
+	if *modelOut != "" {
+		fmt.Printf("  cost model checkpoint: %s\n", *modelOut)
+	}
 	fmt.Printf("  schedule: %s\n", res.BestSchedule)
-}
-
-func parseShape(s string) ([]int, error) {
-	if s == "" {
-		return nil, fmt.Errorf("missing -shape")
-	}
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad shape element %q", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func need(dims []int, n int) {
-	if len(dims) != n {
-		fatal(fmt.Errorf("shape needs %d comma-separated values, got %d", n, len(dims)))
-	}
 }
 
 func fatal(err error) {

@@ -21,12 +21,16 @@ package harl
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
 	"harl/internal/core"
+	"harl/internal/costmodel"
 	"harl/internal/experiments"
 	"harl/internal/hardware"
+	"harl/internal/pretrain"
+	"harl/internal/search"
 	"harl/internal/texpr"
 	"harl/internal/tunelog"
 	"harl/internal/workload"
@@ -198,6 +202,28 @@ type Options struct {
 	// RecordLog (the log is read before tuning starts and only new
 	// measurements are appended).
 	ResumeFrom string
+	// PretrainFrom, when non-empty, pretrains each task's cost model before
+	// search starts by replaying the record log's matching measurements
+	// (features are regenerated deterministically from the serialized
+	// schedule steps). Unlike ResumeFrom this is model-only: no schedules
+	// are seeded or skipped — the reward signal and the top-K ranking are
+	// simply informed from round one, so the run reaches good programs in
+	// fewer trials. It composes with ResumeFrom and preserves the
+	// worker-count determinism contract.
+	PretrainFrom string
+	// ModelIn, when non-empty, loads a cost-model checkpoint (written by
+	// ModelOut or harl-train) into every structurally compatible task —
+	// equal feature dimension — before search starts; each task refits its
+	// own copy as new measurements arrive, and incompatible tasks keep their
+	// cold model.
+	ModelIn string
+	// ModelOut, when non-empty, saves the run's trained cost model as a
+	// versioned checkpoint after tuning: the task's model for an operator
+	// run; for a network run, the merged model over the structurally
+	// compatible majority of its subgraph tasks (feature dimensions vary
+	// across workload structures, and model knowledge only transfers
+	// between equal dimensions).
+	ModelOut string
 }
 
 func (o Options) withDefaults() Options {
@@ -237,6 +263,13 @@ type Result struct {
 	// WarmStarted reports whether a cached record from Options.ResumeFrom
 	// seeded the run.
 	WarmStarted bool
+	// CostModelSamples is the cost model's final training-set size and
+	// CostModelRefits its refit count — what the model knew by the end.
+	CostModelSamples int
+	CostModelRefits  int
+	// Pretrained reports whether the cost model carried offline knowledge
+	// (Options.PretrainFrom or Options.ModelIn) before the first round.
+	Pretrained bool
 }
 
 // hooks resolves the Options journal fields into core tuning hooks plus a
@@ -253,6 +286,25 @@ func (o Options) hooks() (core.TuneHooks, func() error, error) {
 		}
 		h.Warm = db
 	}
+	if o.PretrainFrom != "" {
+		// The pretrain log may equal the resume log; load it once.
+		if o.PretrainFrom == o.ResumeFrom {
+			h.Pretrain = h.Warm
+		} else {
+			db, err := tunelog.LoadFile(o.PretrainFrom)
+			if err != nil {
+				return h, closeFn, err
+			}
+			h.Pretrain = db
+		}
+	}
+	if o.ModelIn != "" {
+		m, err := costmodel.LoadFile(o.ModelIn)
+		if err != nil {
+			return h, closeFn, err
+		}
+		h.Model = m
+	}
 	if o.RecordLog != "" {
 		jr, err := tunelog.OpenJournal(o.RecordLog)
 		if err != nil {
@@ -262,6 +314,33 @@ func (o Options) hooks() (core.TuneHooks, func() error, error) {
 		closeFn = jr.Close
 	}
 	return h, closeFn, nil
+}
+
+// checkPretrainMatches guards the PretrainFrom path: a journal with no
+// record for any of the run's workloads on the target would silently produce
+// a cold run, so — matching TrainModel's behavior — it is an error instead
+// (almost always a wrong shape, network or -target).
+func checkPretrainMatches(db *tunelog.Database, path string, graphs []*texpr.Subgraph, plat *hardware.Platform) error {
+	if db == nil {
+		return nil
+	}
+	for _, sg := range graphs {
+		if _, ok := db.Best(sg.Fingerprint(), plat.Name); ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("harl: no records in %q match the run's workloads on %s to pretrain from", path, plat.Name)
+}
+
+// saveModel writes a cost model checkpoint for Options.ModelOut through the
+// Checkpointer interface (skipping silently is not an option: a run asked to
+// produce an artifact must produce it or fail).
+func saveModel(path string, cm costmodel.CostModel) error {
+	ck, ok := cm.(costmodel.Checkpointer)
+	if !ok {
+		return fmt.Errorf("harl: cost model %T cannot be checkpointed", cm)
+	}
+	return costmodel.SaveFile(path, ck)
 }
 
 // TuneOperator tunes one workload on a target.
@@ -279,6 +358,10 @@ func TuneOperator(w Workload, t Target, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if err := checkPretrainMatches(hooks.Pretrain, o.PretrainFrom, []*texpr.Subgraph{w.sg}, t.plat); err != nil {
+		closeJournal()
+		return Result{}, err
+	}
 	res := core.TuneOperatorJournaled(w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed, workers, hooks)
 	if err := closeJournal(); err != nil {
 		return Result{}, err
@@ -289,14 +372,22 @@ func TuneOperator(w Workload, t Target, o Options) (Result, error) {
 		// returning an all-zero result.
 		return Result{}, fmt.Errorf("harl: no cached record for %s on %s in %q and no trial budget to measure", w.Name(), t.Name(), o.ResumeFrom)
 	}
+	if o.ModelOut != "" {
+		if err := saveModel(o.ModelOut, res.Task.Cost); err != nil {
+			return Result{}, err
+		}
+	}
 	out := Result{
-		Scheduler:     o.Scheduler,
-		ExecSeconds:   res.BestExec,
-		GFLOPS:        res.BestGFLOPS,
-		Trials:        res.Trials,
-		SearchSeconds: res.CostSec,
-		BestLog:       append([]float64(nil), res.Task.BestLog...),
-		WarmStarted:   res.WarmStarted,
+		Scheduler:        o.Scheduler,
+		ExecSeconds:      res.BestExec,
+		GFLOPS:           res.BestGFLOPS,
+		Trials:           res.Trials,
+		SearchSeconds:    res.CostSec,
+		BestLog:          append([]float64(nil), res.Task.BestLog...),
+		WarmStarted:      res.WarmStarted,
+		CostModelSamples: res.CostSamples,
+		CostModelRefits:  res.CostRefits,
+		Pretrained:       res.Pretrained,
 	}
 	if res.Task.Best != nil {
 		out.BestSchedule = res.Task.Best.String()
@@ -326,22 +417,35 @@ type NetworkResult struct {
 	// WarmStarted is the number of subgraph tasks seeded from
 	// Options.ResumeFrom's cached records.
 	WarmStarted int
+	// Pretrained is the number of subgraph tasks whose cost model carried
+	// offline knowledge (Options.PretrainFrom or Options.ModelIn) before the
+	// first round; CostModelSamples and CostModelRefits sum the per-task
+	// training-set sizes and refit counts.
+	Pretrained       int
+	CostModelSamples int
+	CostModelRefits  int
+}
+
+// networkByName resolves one of the paper's network names.
+func networkByName(name string, batch int) (*workload.Network, error) {
+	switch name {
+	case "bert", "BERT":
+		return workload.BERT(batch), nil
+	case "resnet50", "resnet", "ResNet":
+		return workload.ResNet50(batch), nil
+	case "mobilenetv2", "mobilenet", "MobileNet":
+		return workload.MobileNetV2(batch), nil
+	}
+	return nil, fmt.Errorf("harl: unknown network %q", name)
 }
 
 // TuneNetwork tunes one of the paper's networks ("bert", "resnet50",
 // "mobilenetv2") end to end.
 func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, error) {
 	o = o.withDefaults()
-	var net *workload.Network
-	switch name {
-	case "bert", "BERT":
-		net = workload.BERT(batch)
-	case "resnet50", "resnet", "ResNet":
-		net = workload.ResNet50(batch)
-	case "mobilenetv2", "mobilenet", "MobileNet":
-		net = workload.MobileNetV2(batch)
-	default:
-		return NetworkResult{}, fmt.Errorf("harl: unknown network %q", name)
+	net, err := networkByName(name, batch)
+	if err != nil {
+		return NetworkResult{}, err
 	}
 	// Validate the scheduler preset before opening any journal file, so a bad
 	// name cannot leak an opened (and possibly newly created) record log.
@@ -352,12 +456,17 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 	if err != nil {
 		return NetworkResult{}, err
 	}
+	if err := checkPretrainMatches(hooks.Pretrain, o.PretrainFrom, net.Subgraphs, t.plat); err != nil {
+		closeJournal()
+		return NetworkResult{}, err
+	}
 	if o.Workers != 0 {
 		pnt, err := core.NewParallelNetworkTuner(net, t.plat, o.Scheduler, o.MeasureK, o.Seed, o.Workers)
 		if err != nil {
 			closeJournal()
 			return NetworkResult{}, err
 		}
+		pretrained := pnt.SeedCostModels(hooks)
 		warmed := 0
 		if hooks.Warm != nil {
 			warmed = pnt.WarmStart(hooks.Warm)
@@ -372,6 +481,11 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 		if o.Trials == 0 && warmed < len(net.Subgraphs) {
 			return NetworkResult{}, fmt.Errorf("harl: cache replay incomplete: %d of %d subgraphs have cached records in %q and there is no trial budget to measure the rest", warmed, len(net.Subgraphs), o.ResumeFrom)
 		}
+		if o.ModelOut != "" {
+			if err := saveModel(o.ModelOut, core.MergedCostModel(pnt.MT.Tasks)); err != nil {
+				return NetworkResult{}, err
+			}
+		}
 		out := NetworkResult{
 			Network:          net.Name,
 			EstimatedSeconds: pnt.EstimatedExec(),
@@ -379,7 +493,9 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 			Trials:           pnt.Trials(),
 			SearchSeconds:    pnt.CostSec(),
 			WarmStarted:      warmed,
+			Pretrained:       pretrained,
 		}
+		out.CostModelSamples, out.CostModelRefits = costModelTotals(pnt.MT.Tasks)
 		for i, b := range pnt.Breakdown() {
 			out.Breakdown = append(out.Breakdown, SubgraphReport{
 				Name:         b.Name,
@@ -397,6 +513,7 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 		return NetworkResult{}, err
 	}
 	nt := core.NewNetworkTuner(net, t.plat, sched, o.MeasureK, o.Seed)
+	pretrained := nt.SeedCostModels(hooks)
 	warmed := 0
 	if hooks.Warm != nil {
 		warmed = nt.WarmStart(hooks.Warm)
@@ -411,6 +528,11 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 	if o.Trials == 0 && warmed < len(net.Subgraphs) {
 		return NetworkResult{}, fmt.Errorf("harl: cache replay incomplete: %d of %d subgraphs have cached records in %q and there is no trial budget to measure the rest", warmed, len(net.Subgraphs), o.ResumeFrom)
 	}
+	if o.ModelOut != "" {
+		if err := saveModel(o.ModelOut, core.MergedCostModel(nt.Tasks)); err != nil {
+			return NetworkResult{}, err
+		}
+	}
 	out := NetworkResult{
 		Network:          net.Name,
 		EstimatedSeconds: nt.EstimatedExec(),
@@ -418,7 +540,9 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 		Trials:           nt.Trials(),
 		SearchSeconds:    nt.Meas.CostSec(),
 		WarmStarted:      warmed,
+		Pretrained:       pretrained,
 	}
+	out.CostModelSamples, out.CostModelRefits = costModelTotals(nt.Tasks)
 	for i, b := range nt.Breakdown() {
 		out.Breakdown = append(out.Breakdown, SubgraphReport{
 			Name:         b.Name,
@@ -598,3 +722,137 @@ func BestRecord(path string, w Workload, t Target) (Record, bool, error) {
 // Fingerprint returns the workload's stable record-log identity (the
 // Workload field of its Records).
 func (w Workload) Fingerprint() string { return w.sg.Fingerprint() }
+
+// costModelTotals sums the per-task cost-model statistics of a network run.
+func costModelTotals(tasks []*search.Task) (samples, refits int) {
+	for _, t := range tasks {
+		samples += t.Cost.Len()
+		refits += t.CostRefits
+	}
+	return samples, refits
+}
+
+// ParseShape parses a CLI-style comma-separated shape ("1024,1024,1024")
+// into the dims OperatorWorkload expects — the parsing shared by harl-tune
+// and harl-train.
+func ParseShape(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("harl: missing shape")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("harl: bad shape element %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// OperatorWorkload builds an operator workload from its CLI-style kind and
+// shape ("gemm": M,K,N; "c1d": L,Cin,Cout,K,stride,pad; "c2d"/"t2d":
+// H,W,Cin,Cout,K,stride,pad; "c3d": D,H,W,Cin,Cout,K,stride,pad) — the
+// parsing shared by harl-tune and harl-train.
+func OperatorWorkload(op string, dims []int, batch int) (Workload, error) {
+	need := func(n int) error {
+		if len(dims) != n {
+			return fmt.Errorf("harl: operator %q needs %d shape values, got %d", op, n, len(dims))
+		}
+		return nil
+	}
+	switch op {
+	case "gemm":
+		if err := need(3); err != nil {
+			return Workload{}, err
+		}
+		return GEMM(dims[0], dims[1], dims[2], batch), nil
+	case "c1d":
+		if err := need(6); err != nil {
+			return Workload{}, err
+		}
+		return Conv1D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], batch), nil
+	case "c2d":
+		if err := need(7); err != nil {
+			return Workload{}, err
+		}
+		return Conv2D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], batch), nil
+	case "c3d":
+		if err := need(8); err != nil {
+			return Workload{}, err
+		}
+		return Conv3D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], dims[7], batch), nil
+	case "t2d":
+		if err := need(7); err != nil {
+			return Workload{}, err
+		}
+		return ConvT2D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], batch), nil
+	}
+	return Workload{}, fmt.Errorf("harl: unknown operator kind %q (want gemm, c1d, c2d, c3d or t2d)", op)
+}
+
+// NetworkWorkloads returns the subgraph workloads of one of the paper's
+// networks — the workload set harl-train fits a network-wide model over.
+func NetworkWorkloads(name string, batch int) ([]Workload, error) {
+	net, err := networkByName(name, batch)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Workload, 0, len(net.Subgraphs))
+	for _, sg := range net.Subgraphs {
+		out = append(out, Workload{sg})
+	}
+	return out, nil
+}
+
+// TrainStats summarizes an offline cost-model fit (TrainModel).
+type TrainStats struct {
+	// Records is the number of journal records replayed into the model, and
+	// Workloads the number of distinct workloads they cover.
+	Records   int
+	Workloads int
+	// Skipped counts matching records whose schedule steps failed to
+	// reconstruct (foreign or stale journals).
+	Skipped int
+	// Samples is the model's resulting training-set size and Trained whether
+	// the fit produced a usable ensemble.
+	Samples int
+	Trained bool
+}
+
+// TrainModel fits a cost model offline from a tuning-record log — replaying
+// every record that matches one of the workloads on the target, regenerating
+// features deterministically from the serialized schedule steps — and writes
+// the versioned checkpoint artifact to outPath. The artifact feeds
+// Options.ModelIn (or another TrainModel run's journal feeds
+// Options.PretrainFrom directly). Training is deterministic: the same
+// journal always produces a byte-identical checkpoint.
+func TrainModel(logPath string, ws []Workload, t Target, outPath string) (TrainStats, error) {
+	if len(ws) == 0 {
+		return TrainStats{}, fmt.Errorf("harl: no workloads to train over")
+	}
+	db, err := tunelog.LoadFile(logPath)
+	if err != nil {
+		return TrainStats{}, err
+	}
+	graphs := make([]*texpr.Subgraph, len(ws))
+	for i, w := range ws {
+		graphs[i] = w.sg
+	}
+	m, st := pretrain.FitModel(db, graphs, t.plat.Name, costmodel.DefaultParams())
+	stats := TrainStats{
+		Records:   st.Records,
+		Workloads: st.Workloads,
+		Skipped:   st.Skipped,
+		Samples:   m.Len(),
+		Trained:   m.Trained(),
+	}
+	if st.Records == 0 {
+		return stats, fmt.Errorf("harl: no records in %q match the given workloads on %s", logPath, t.Name())
+	}
+	if err := costmodel.SaveFile(outPath, m); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

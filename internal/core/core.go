@@ -16,7 +16,9 @@ package core
 import (
 	"fmt"
 
+	"harl/internal/costmodel"
 	"harl/internal/hardware"
+	"harl/internal/pretrain"
 	"harl/internal/schedule"
 	"harl/internal/search"
 	"harl/internal/texpr"
@@ -123,6 +125,12 @@ type OperatorResult struct {
 	Task    *search.Task
 	// WarmStarted reports whether a cached record seeded the run.
 	WarmStarted bool
+	// CostSamples and CostRefits are the cost model's final training-set size
+	// and refit count; Pretrained reports whether the model carried offline
+	// knowledge (checkpoint or journal replay) before the first round.
+	CostSamples int
+	CostRefits  int
+	Pretrained  bool
 }
 
 // TuneHooks wires a tuning run to the persistent tuning-record journal
@@ -135,6 +143,77 @@ type TuneHooks struct {
 	// tuning starts, so an already-tuned workload converges immediately and
 	// its best schedule is never re-measured.
 	Warm *tunelog.Database
+	// Model, when non-nil, is a checkpointed cost model cloned into every
+	// task before search starts (each task keeps refitting its own copy).
+	// The concrete type here is constructor wiring: past this point the
+	// search layers see only the costmodel.CostModel interface.
+	Model *costmodel.Model
+	// Pretrain, when non-nil, replays each task's matching journal records
+	// into its cost model before search starts — model-only: unlike Warm it
+	// seeds no schedules and skips no measurements, it just makes the reward
+	// signal and the top-K ranking informed from round one.
+	Pretrain *tunelog.Database
+}
+
+// seedCostModel applies the hooks' model-in and pretrain stages to one task
+// (in that order: a loaded checkpoint first, then the journal replay on
+// top). Knowledge only transfers between structurally compatible workloads:
+// a model whose feature dimension differs from the task's (axis counts
+// differ across workload structures) is not installed, and the task keeps
+// its own cold model.
+func seedCostModel(t *search.Task, hooks TuneHooks) {
+	if hooks.Model != nil {
+		if d := hooks.Model.Dim(); d == 0 || d == t.FeatureDim() {
+			t.SetCostModel(hooks.Model.Clone())
+		}
+	}
+	if hooks.Pretrain != nil {
+		pretrain.SeedTask(hooks.Pretrain, t)
+	}
+}
+
+// seedCostModels seeds every task and counts the ones that start pretrained.
+func seedCostModels(tasks []*search.Task, hooks TuneHooks) int {
+	n := 0
+	for _, t := range tasks {
+		seedCostModel(t, hooks)
+		if t.Pretrained {
+			n++
+		}
+	}
+	return n
+}
+
+// MergedCostModel folds tasks' training samples — in task order — into one
+// fresh model and refits it: the checkpoint artifact of a network tuning
+// run, usable to pretrain any later run on structurally compatible
+// workloads. Feature dimensions vary across workload structures and a
+// training matrix must stay rectangular, so the merge keeps the dimension
+// that carries the most samples across the task set (ties to the earlier
+// task); tasks of other dimensions, and tasks whose model is not the
+// concrete GBDT, contribute nothing.
+func MergedCostModel(tasks []*search.Task) *costmodel.Model {
+	bestDim, bestN := 0, -1
+	counts := make(map[int]int)
+	for _, t := range tasks {
+		cm, ok := t.Cost.(*costmodel.Model)
+		if !ok {
+			continue
+		}
+		d := cm.Dim()
+		counts[d] += cm.Len()
+		if counts[d] > bestN {
+			bestDim, bestN = d, counts[d]
+		}
+	}
+	m := costmodel.New(costmodel.DefaultParams())
+	for _, t := range tasks {
+		if cm, ok := t.Cost.(*costmodel.Model); ok && cm.Dim() == bestDim {
+			m.Merge(cm)
+		}
+	}
+	m.Refit()
+	return m
 }
 
 // attachJournal wires a task's measurement callback to the journal. The
@@ -191,6 +270,7 @@ func TuneOperatorJournaled(sg *texpr.Subgraph, plat *hardware.Platform, sched *S
 	if workers != 1 {
 		task.Pool = search.NewParallelPool(workers)
 	}
+	seedCostModel(task, hooks)
 	warm := false
 	if hooks.Warm != nil {
 		warm = warmStartTask(task, hooks.Warm)
@@ -206,6 +286,9 @@ func TuneOperatorJournaled(sg *texpr.Subgraph, plat *hardware.Platform, sched *S
 		CostSec:     meas.CostSec(),
 		Task:        task,
 		WarmStarted: warm,
+		CostSamples: task.Cost.Len(),
+		CostRefits:  task.CostRefits,
+		Pretrained:  task.Pretrained,
 	}
 	if task.Best != nil {
 		res.BestExec = sim.Exec(task.Best)

@@ -105,6 +105,13 @@ func (nt *NetworkTuner) WarmStart(db *tunelog.Database) int {
 	return n
 }
 
+// SeedCostModels applies the hooks' checkpointed model and/or pretraining
+// journal to every task before Run, returning the number of tasks whose cost
+// model starts with offline knowledge.
+func (nt *NetworkTuner) SeedCostModels(hooks TuneHooks) int {
+	return seedCostModels(nt.Tasks, hooks)
+}
+
 // SetWorkers gives every task a shared worker pool for intra-round
 // parallelism (trial evaluation and cost-model scoring). Rounds stay
 // sequential across tasks, and results are byte-identical for every worker

@@ -79,6 +79,15 @@ func (p *ParallelNetworkTuner) WarmStart(db *tunelog.Database) int {
 	return n
 }
 
+// SeedCostModels applies the hooks' checkpointed model and/or pretraining
+// journal to every task before Run, returning the number of tasks whose cost
+// model starts with offline knowledge. Seeding happens before the first wave
+// on committed state, so the determinism contract (worker-count invariance)
+// is untouched.
+func (p *ParallelNetworkTuner) SeedCostModels(hooks TuneHooks) int {
+	return seedCostModels(p.MT.Tasks, hooks)
+}
+
 // Run tunes until the measurement budget is exhausted.
 func (p *ParallelNetworkTuner) Run(budgetTrials int) { p.MT.Run(budgetTrials) }
 

@@ -1,0 +1,162 @@
+// Checkpoint codec: a versioned JSON serialization of a trained Model —
+// boosted trees, ridge term, target range AND the stored training set, so a
+// reloaded model both predicts bit-identically and keeps learning (the first
+// Refit after new measurements rebuilds from the full history instead of
+// forgetting the checkpointed knowledge).
+//
+// The encoding is canonical: struct field order is fixed and float64 values
+// use Go's shortest round-trip formatting, so save → load → re-save produces
+// byte-identical artifacts (the property the round-trip tests pin down).
+// Loaders reject checkpoints of a different version rather than
+// misinterpreting them.
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CheckpointVersion is the artifact format version written by this package.
+const CheckpointVersion = 1
+
+type ckptNode struct {
+	Feat  int     `json:"f"`
+	Thr   float64 `json:"t"`
+	Left  int     `json:"l"`
+	Right int     `json:"r"`
+	Leaf  float64 `json:"leaf"`
+	End   bool    `json:"end"` // isLeaf
+}
+
+type ckptTree struct {
+	Nodes []ckptNode `json:"nodes"`
+}
+
+type checkpoint struct {
+	V      int         `json:"v"`
+	Params Params      `json:"params"`
+	Base   float64     `json:"base"`
+	YMin   float64     `json:"y_min"`
+	YMax   float64     `json:"y_max"`
+	Lin    []float64   `json:"lin,omitempty"`
+	LinMu  []float64   `json:"lin_mu,omitempty"`
+	Trees  []ckptTree  `json:"trees,omitempty"`
+	XS     [][]float64 `json:"xs,omitempty"`
+	YS     []float64   `json:"ys,omitempty"`
+}
+
+// MarshalCheckpoint renders the model as one canonical JSON document (with a
+// trailing newline). It implements Checkpointer.
+func (m *Model) MarshalCheckpoint() ([]byte, error) {
+	ck := checkpoint{
+		V:      CheckpointVersion,
+		Params: m.P,
+		Base:   m.base,
+		YMin:   m.yMin,
+		YMax:   m.yMax,
+		Lin:    m.lin,
+		LinMu:  m.linMu,
+		XS:     m.xs,
+		YS:     m.ys,
+	}
+	for _, t := range m.trees {
+		ct := ckptTree{Nodes: make([]ckptNode, len(t.nodes))}
+		for i, n := range t.nodes {
+			ct.Nodes[i] = ckptNode{Feat: n.feat, Thr: n.thr, Left: n.left, Right: n.right, Leaf: n.leaf, End: n.isLeaf}
+		}
+		ck.Trees = append(ck.Trees, ct)
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: marshal checkpoint: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// UnmarshalCheckpoint reconstructs a model from its checkpoint bytes. A
+// version mismatch is an error: artifacts are never silently reinterpreted.
+func UnmarshalCheckpoint(data []byte) (*Model, error) {
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("costmodel: malformed checkpoint: %w", err)
+	}
+	if ck.V != CheckpointVersion {
+		return nil, fmt.Errorf("costmodel: checkpoint version %d, want %d", ck.V, CheckpointVersion)
+	}
+	if len(ck.XS) != len(ck.YS) {
+		return nil, fmt.Errorf("costmodel: checkpoint has %d feature rows but %d targets", len(ck.XS), len(ck.YS))
+	}
+	if len(ck.Lin) != len(ck.LinMu) {
+		return nil, fmt.Errorf("costmodel: checkpoint has %d ridge weights but %d feature means", len(ck.Lin), len(ck.LinMu))
+	}
+	// Establish the feature dimension and require every dimensioned part to
+	// agree: ragged training rows would panic the fitters on the next Refit,
+	// and out-of-range tree/ridge feature indices would panic Predict — a
+	// malformed artifact must fail here, at load.
+	dim := len(ck.Lin)
+	for i, x := range ck.XS {
+		if dim == 0 {
+			dim = len(x)
+		}
+		if len(x) != dim {
+			return nil, fmt.Errorf("costmodel: checkpoint feature row %d has %d values, want %d", i, len(x), dim)
+		}
+	}
+	m := &Model{
+		P:     ck.Params,
+		base:  ck.Base,
+		yMin:  ck.YMin,
+		yMax:  ck.YMax,
+		lin:   ck.Lin,
+		linMu: ck.LinMu,
+		xs:    ck.XS,
+		ys:    ck.YS,
+	}
+	for _, ct := range ck.Trees {
+		t := &tree{nodes: make([]node, len(ct.Nodes))}
+		for i, n := range ct.Nodes {
+			if !n.End {
+				// grow() always appends children after their parent, so
+				// child indices must be strictly increasing — which also
+				// guarantees traversal terminates on any artifact that
+				// passes the check.
+				if n.Left <= i || n.Left >= len(ct.Nodes) || n.Right <= i || n.Right >= len(ct.Nodes) {
+					return nil, fmt.Errorf("costmodel: checkpoint tree node %d has invalid children", i)
+				}
+				if n.Feat < 0 || n.Feat >= dim {
+					return nil, fmt.Errorf("costmodel: checkpoint tree node %d splits on feature %d of %d", i, n.Feat, dim)
+				}
+			}
+			t.nodes[i] = node{feat: n.Feat, thr: n.Thr, left: n.Left, right: n.Right, leaf: n.Leaf, isLeaf: n.End}
+		}
+		if len(t.nodes) == 0 {
+			return nil, fmt.Errorf("costmodel: checkpoint contains an empty tree")
+		}
+		m.trees = append(m.trees, t)
+	}
+	return m, nil
+}
+
+// SaveFile writes a model's checkpoint to path (0644, truncating). It
+// accepts any Checkpointer so callers holding the CostModel interface can
+// save without naming the concrete type.
+func SaveFile(path string, m Checkpointer) error {
+	data, err := m.MarshalCheckpoint()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("costmodel: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a checkpoint written by SaveFile (or harl-train).
+func LoadFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: read checkpoint: %w", err)
+	}
+	return UnmarshalCheckpoint(data)
+}

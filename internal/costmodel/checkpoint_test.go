@@ -1,0 +1,206 @@
+package costmodel
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"harl/internal/xrand"
+)
+
+// trainedModel fits a model on synthetic data for the checkpoint tests.
+func trainedModel(t *testing.T, seed uint64, n int) *Model {
+	t.Helper()
+	rng := xrand.New(seed)
+	m := New(DefaultParams())
+	xs, ys := synth(rng, n, 6)
+	for i := range xs {
+		m.Add(xs[i], ys[i])
+	}
+	m.Refit()
+	if !m.Trained() {
+		t.Fatal("model should be trained")
+	}
+	return m
+}
+
+func TestCheckpointRoundTripByteIdentical(t *testing.T) {
+	m := trainedModel(t, 1, 400)
+	first, err := m.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalCheckpoint(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := loaded.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("save → load → re-save is not byte-identical")
+	}
+}
+
+func TestCheckpointPredictsIdentically(t *testing.T) {
+	m := trainedModel(t, 2, 400)
+	data, err := m.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != m.Len() {
+		t.Fatalf("training set %d after load, want %d", loaded.Len(), m.Len())
+	}
+	// Holdout grid: predictions and throughputs must be bit-identical.
+	hx, _ := synth(xrand.New(99), 250, 6)
+	want := m.PredictBatch(hx)
+	got := loaded.PredictBatch(hx)
+	for i := range hx {
+		if got[i] != want[i] {
+			t.Fatalf("holdout %d: loaded predicts %v, original %v", i, got[i], want[i])
+		}
+		if loaded.Throughput(hx[i]) != m.Throughput(hx[i]) {
+			t.Fatalf("holdout %d: throughput diverged", i)
+		}
+	}
+	// The loaded model keeps learning: a refit from the carried training set
+	// reproduces the original ensemble exactly.
+	loaded.Refit()
+	refitted := loaded.PredictBatch(hx)
+	for i := range hx {
+		if refitted[i] != want[i] {
+			t.Fatalf("holdout %d: refit after load diverged (%v vs %v)", i, refitted[i], want[i])
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	m := trainedModel(t, 3, 300)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = 0.5
+	}
+	if loaded.Predict(x) != m.Predict(x) {
+		t.Fatal("file round trip changed predictions")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing checkpoint must error")
+	}
+}
+
+func TestCheckpointUntrainedModel(t *testing.T) {
+	m := New(DefaultParams())
+	data, err := m.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Trained() || loaded.Len() != 0 {
+		t.Fatal("empty model must load empty")
+	}
+	resave, err := loaded.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, resave) {
+		t.Fatal("empty checkpoint not byte-stable")
+	}
+}
+
+func TestCheckpointRejectsBadInput(t *testing.T) {
+	if _, err := UnmarshalCheckpoint([]byte("not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if _, err := UnmarshalCheckpoint([]byte(`{"v":99}`)); err == nil {
+		t.Fatal("version mismatch must error")
+	}
+	if _, err := UnmarshalCheckpoint([]byte(`{"v":1,"xs":[[1]],"ys":[]}`)); err == nil {
+		t.Fatal("xs/ys length mismatch must error")
+	}
+	// An internal node pointing at itself would loop forever if accepted.
+	bad := `{"v":1,"xs":[[1]],"ys":[2],"trees":[{"nodes":[{"f":0,"t":0.5,"l":0,"r":0,"leaf":0,"end":false}]}]}`
+	if _, err := UnmarshalCheckpoint([]byte(bad)); err == nil {
+		t.Fatal("cyclic tree must error")
+	}
+	// A split on a feature beyond the model's dimension would index out of
+	// range in Predict.
+	badFeat := `{"v":1,"xs":[[1,2]],"ys":[3],"trees":[{"nodes":[` +
+		`{"f":5,"t":0.5,"l":1,"r":2,"leaf":0,"end":false},` +
+		`{"f":0,"t":0,"l":0,"r":0,"leaf":1,"end":true},` +
+		`{"f":0,"t":0,"l":0,"r":0,"leaf":2,"end":true}]}]}`
+	if _, err := UnmarshalCheckpoint([]byte(badFeat)); err == nil {
+		t.Fatal("out-of-range split feature must error")
+	}
+	// Splitting trees without any dimensioned part to bound their feature
+	// indices (a leaf-only tree would be harmless and loads fine).
+	noDim := `{"v":1,"trees":[{"nodes":[` +
+		`{"f":0,"t":0.5,"l":1,"r":2,"leaf":0,"end":false},` +
+		`{"f":0,"t":0,"l":0,"r":0,"leaf":1,"end":true},` +
+		`{"f":0,"t":0,"l":0,"r":0,"leaf":2,"end":true}]}]}`
+	if _, err := UnmarshalCheckpoint([]byte(noDim)); err == nil {
+		t.Fatal("splitting trees without a feature dimension must error")
+	}
+	// Ragged training rows would panic the fitters at the next Refit.
+	if _, err := UnmarshalCheckpoint([]byte(`{"v":1,"xs":[[1,2],[3]],"ys":[1,2]}`)); err == nil {
+		t.Fatal("ragged feature rows must error")
+	}
+	if _, err := UnmarshalCheckpoint([]byte(`{"v":1,"lin":[1,2],"lin_mu":[1]}`)); err == nil {
+		t.Fatal("lin/lin_mu length mismatch must error")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := trainedModel(t, 4, 200)
+	c := m.Clone()
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = 0.25
+	}
+	want := m.Predict(x)
+	if c.Predict(x) != want {
+		t.Fatal("clone predicts differently")
+	}
+	// Training the clone must not disturb the original.
+	extra, ys := synth(xrand.New(5), 100, 6)
+	for i := range extra {
+		c.Add(extra[i], ys[i])
+	}
+	c.Refit()
+	if m.Predict(x) != want {
+		t.Fatal("training the clone mutated the original")
+	}
+	if c.Len() != m.Len()+100 {
+		t.Fatalf("clone has %d samples, want %d", c.Len(), m.Len()+100)
+	}
+}
+
+func TestMergeFoldsSamples(t *testing.T) {
+	a := trainedModel(t, 6, 150)
+	b := trainedModel(t, 7, 120)
+	merged := New(DefaultParams())
+	merged.Merge(a)
+	merged.Merge(b)
+	if merged.Len() != a.Len()+b.Len() {
+		t.Fatalf("merged %d samples, want %d", merged.Len(), a.Len()+b.Len())
+	}
+	merged.Refit()
+	if !merged.Trained() {
+		t.Fatal("merged model should train")
+	}
+}

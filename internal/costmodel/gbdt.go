@@ -87,15 +87,41 @@ type Model struct {
 // New creates an empty model.
 func New(p Params) *Model { return &Model{P: p} }
 
+var (
+	_ CostModel    = (*Model)(nil)
+	_ Checkpointer = (*Model)(nil)
+)
+
 // Len returns the number of stored training samples.
 func (m *Model) Len() int { return len(m.xs) }
+
+// Dim returns the model's feature dimension (0 while empty). Schedule
+// features are uniform within a workload but their length varies across
+// workload structures (axis counts differ), so cost-model knowledge only
+// transfers between workloads of equal dimension; constructor wiring
+// (core.seedCostModel, Merge, pretrain.FitModel) gates on Dim.
+func (m *Model) Dim() int {
+	if len(m.xs) > 0 {
+		return len(m.xs[0])
+	}
+	if m.lin != nil {
+		return len(m.lin)
+	}
+	return 0
+}
 
 // Trained reports whether the model has a fitted ensemble.
 func (m *Model) Trained() bool { return len(m.trees) > 0 || m.lin != nil }
 
 // Add appends measured samples (feature vector, log-throughput target) to the
-// training set, evicting the oldest beyond the cap.
+// training set, evicting the oldest beyond the cap. A sample whose dimension
+// differs from the stored set's is dropped: the training matrix must stay
+// rectangular for the fitters, and a mismatched dimension means the sample
+// belongs to a structurally incompatible workload.
 func (m *Model) Add(x []float64, y float64) {
+	if d := m.Dim(); d > 0 && len(x) != d {
+		return
+	}
 	m.xs = append(m.xs, append([]float64(nil), x...))
 	m.ys = append(m.ys, y)
 	if m.P.MaxData > 0 && len(m.xs) > m.P.MaxData {
@@ -323,12 +349,12 @@ func (m *Model) fitLinear(resid []float64) {
 	for col := 0; col < d; col++ {
 		piv := col
 		for r := col + 1; r < d; r++ {
-			if abs(a[r][col]) > abs(a[piv][col]) {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
 				piv = r
 			}
 		}
 		a[col], a[piv] = a[piv], a[col]
-		if abs(a[col][col]) < 1e-12 {
+		if math.Abs(a[col][col]) < 1e-12 {
 			continue
 		}
 		for r := 0; r < d; r++ {
@@ -343,18 +369,11 @@ func (m *Model) fitLinear(resid []float64) {
 	}
 	w := make([]float64, d)
 	for i := 0; i < d; i++ {
-		if abs(a[i][i]) > 1e-12 {
+		if math.Abs(a[i][i]) > 1e-12 {
 			w[i] = a[i][d] / a[i][i]
 		}
 	}
 	m.lin, m.linMu = w, mu
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 func (m *Model) linearTerm(x []float64) float64 {
@@ -383,40 +402,104 @@ func (m *Model) linearTerm(x []float64) float64 {
 // Predictions are clamped to slightly beyond the observed target range so the
 // linear base cannot extrapolate to absurd scores far from the training data.
 func (m *Model) Predict(x []float64) float64 {
+	if !m.conforms(x) {
+		return m.clamp(m.base)
+	}
 	y := m.base + m.linearTerm(x)
 	for _, t := range m.trees {
 		y += m.P.LearningRate * t.predict(x)
 	}
 	if m.Trained() {
-		if hi := m.yMax + 0.5; y > hi {
-			y = hi
-		}
-		if lo := m.yMin - 0.5; y < lo {
-			y = lo
-		}
+		y = m.clamp(y)
 	}
 	return y
 }
 
-// PredictBatch predicts a slice of feature vectors.
+// conforms reports whether x matches the model's feature dimension; a
+// mismatched query (a structurally incompatible workload) falls back to the
+// base prediction instead of indexing out of range.
+func (m *Model) conforms(x []float64) bool {
+	d := m.Dim()
+	return d == 0 || len(x) == d
+}
+
+func (m *Model) clamp(y float64) float64 {
+	if hi := m.yMax + 0.5; y > hi {
+		return hi
+	}
+	if lo := m.yMin - 0.5; y < lo {
+		return lo
+	}
+	return y
+}
+
+// PredictBatch predicts a slice of feature vectors in a single pass over the
+// ensemble: the base + linear term once per sample, then each tree traversed
+// for the whole batch before the next (one hot tree in cache at a time,
+// instead of re-walking the full ensemble per sample as a Predict loop
+// would). The accumulation order per sample matches Predict exactly, so the
+// results are bit-identical to element-wise Predict.
 func (m *Model) PredictBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
+	var bad []bool
 	for i, x := range xs {
-		out[i] = m.Predict(x)
+		if !m.conforms(x) {
+			if bad == nil {
+				bad = make([]bool, len(xs))
+			}
+			bad[i] = true
+			continue
+		}
+		out[i] = m.base + m.linearTerm(x)
+	}
+	for _, t := range m.trees {
+		for i, x := range xs {
+			if bad == nil || !bad[i] {
+				out[i] += m.P.LearningRate * t.predict(x)
+			}
+		}
+	}
+	for i := range out {
+		if bad != nil && bad[i] {
+			out[i] = m.clamp(m.base)
+		} else if m.Trained() {
+			out[i] = m.clamp(out[i])
+		}
 	}
 	return out
 }
 
 // Throughput converts a prediction into a strictly positive score usable as
-// C(s) in the ratio-form reward. Predictions are clamped to keep the ratio
-// well-behaved before the model has seen data.
+// C(s) in the ratio-form reward.
 func (m *Model) Throughput(x []float64) float64 {
-	p := m.Predict(x)
-	if p > 60 {
-		p = 60
+	return ToThroughput(m.Predict(x))
+}
+
+// Clone returns a deep copy of the model — fitted ensemble and training set —
+// so one pretrained or checkpointed model can seed many independent tasks
+// (each task refits its copy as new measurements arrive).
+func (m *Model) Clone() *Model {
+	c := &Model{P: m.P, base: m.base, yMin: m.yMin, yMax: m.yMax}
+	for _, t := range m.trees {
+		c.trees = append(c.trees, &tree{nodes: append([]node(nil), t.nodes...)})
 	}
-	if p < -60 {
-		p = -60
+	if m.lin != nil {
+		c.lin = append([]float64(nil), m.lin...)
+		c.linMu = append([]float64(nil), m.linMu...)
 	}
-	return math.Exp(p)
+	for _, x := range m.xs {
+		c.xs = append(c.xs, append([]float64(nil), x...))
+	}
+	c.ys = append([]float64(nil), m.ys...)
+	return c
+}
+
+// Merge appends the other model's training samples (in their stored order)
+// to this model's training set, respecting the cap. The caller refits when
+// done; network tuners use this to fold every task's samples into one
+// checkpointable model.
+func (m *Model) Merge(o *Model) {
+	for i, x := range o.xs {
+		m.Add(x, o.ys[i])
+	}
 }

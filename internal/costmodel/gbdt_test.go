@@ -191,17 +191,60 @@ func TestConstantTarget(t *testing.T) {
 }
 
 func TestPredictBatchMatchesPredict(t *testing.T) {
-	rng := xrand.New(7)
+	rng := xrand.New(11)
 	m := New(DefaultParams())
-	xs, ys := synth(rng, 150, 3)
+	xs, ys := synth(rng, 400, 6)
+	for i := range xs {
+		m.Add(xs[i], ys[i])
+	}
+	// Both untrained (base-only) and trained models must agree element-wise.
+	hx, _ := synth(rng, 200, 6)
+	for pass := 0; pass < 2; pass++ {
+		batch := m.PredictBatch(hx)
+		if len(batch) != len(hx) {
+			t.Fatalf("batch length %d, want %d", len(batch), len(hx))
+		}
+		for i, x := range hx {
+			if one := m.Predict(x); batch[i] != one {
+				t.Fatalf("pass %d sample %d: batch %v, Predict %v", pass, i, batch[i], one)
+			}
+		}
+		m.Refit()
+	}
+}
+
+func TestDimensionCompatibilityGuards(t *testing.T) {
+	rng := xrand.New(13)
+	m := New(DefaultParams())
+	xs, ys := synth(rng, 300, 6)
 	for i := range xs {
 		m.Add(xs[i], ys[i])
 	}
 	m.Refit()
-	batch := m.PredictBatch(xs[:10])
-	for i := range batch {
-		if batch[i] != m.Predict(xs[i]) {
-			t.Fatal("batch and single predictions differ")
-		}
+	if m.Dim() != 6 {
+		t.Fatalf("dim %d, want 6", m.Dim())
+	}
+	// Mismatched samples are dropped, keeping the training matrix
+	// rectangular.
+	m.Add(make([]float64, 9), 1)
+	if m.Len() != 300 {
+		t.Fatalf("mismatched Add changed the training set to %d", m.Len())
+	}
+	// Mismatched queries fall back to the clamped base instead of indexing
+	// out of range — in both single and batch form, and in Throughput.
+	short, long := make([]float64, 4), make([]float64, 11)
+	want := m.Predict(short)
+	if m.Predict(long) != want {
+		t.Fatal("mismatched queries must agree on the base fallback")
+	}
+	batch := m.PredictBatch([][]float64{short, xs[0], long})
+	if batch[0] != want || batch[2] != want {
+		t.Fatal("batch fallback differs from Predict fallback")
+	}
+	if batch[1] != m.Predict(xs[0]) {
+		t.Fatal("conforming sample disturbed by fallback path")
+	}
+	if m.Throughput(short) != ToThroughput(want) {
+		t.Fatal("throughput fallback mismatch")
 	}
 }

@@ -32,8 +32,12 @@ type Task struct {
 	Sketches []*sketch.Sketch
 	Plat     *hardware.Platform
 	Meas     *hardware.Measurer
-	Cost     *costmodel.Model
-	RNG      *xrand.RNG
+	// Cost is the task's learned performance model. The search layer depends
+	// only on the costmodel.CostModel interface; the concrete GBDT appears
+	// solely in constructor wiring (NewTask, SetCostModel callers), so
+	// checkpointed or pretrained models drop in without touching engines.
+	Cost costmodel.CostModel
+	RNG  *xrand.RNG
 
 	// Pool fans trial evaluation and cost-model scoring across workers. A
 	// nil pool runs everything inline; any pool size yields byte-identical
@@ -66,6 +70,13 @@ type Task struct {
 	// position: Fig. 1(c) and Fig. 7(b)).
 	TrackPositions []float64
 
+	// CostRefits counts the cost-model refits performed for this task, and
+	// Pretrained reports whether the model carried offline knowledge (a
+	// checkpoint or a journal replay) before the first engine round — the
+	// provenance surfaced by harl-tune's summary.
+	CostRefits int
+	Pretrained bool
+
 	measured map[uint64]bool
 }
 
@@ -87,6 +98,11 @@ func NewTask(g *texpr.Subgraph, plat *hardware.Platform, meas *hardware.Measurer
 
 // NumUnroll returns the platform's unroll-candidate count for sampling.
 func (t *Task) NumUnroll() int { return len(t.Plat.UnrollDepths) }
+
+// FeatureDim returns the task's schedule feature dimension (uniform across
+// the task's sketches) — the structural-compatibility key for transferring
+// cost-model knowledge between workloads.
+func (t *Task) FeatureDim() int { return schedule.FeatureDim(t.Sketches[0]) }
 
 // RandomSchedule samples a random schedule of the given sketch.
 func (t *Task) RandomSchedule(sk *sketch.Sketch) *schedule.Schedule {
@@ -140,9 +156,45 @@ func (t *Task) MeasureBatch(scheds []*schedule.Schedule) []float64 {
 		}
 	}
 	if len(jobs) > 0 {
-		t.Cost.Refit()
+		t.refitCost()
 	}
 	return out
+}
+
+// refitCost rebuilds the cost model and counts the refit.
+func (t *Task) refitCost() {
+	t.Cost.Refit()
+	t.CostRefits++
+}
+
+// SetCostModel replaces the task's cost model before search starts — the
+// checkpoint-load path. A model that already carries training samples marks
+// the task pretrained.
+func (t *Task) SetCostModel(m costmodel.CostModel) {
+	t.Cost = m
+	if m.Len() > 0 {
+		t.Pretrained = true
+	}
+}
+
+// PretrainSample feeds one offline sample (reconstructed from a tuning
+// journal) into the cost model without charging a trial or touching the
+// measured set; call FinishPretrain once after the replay.
+func (t *Task) PretrainSample(s *schedule.Schedule, execSec float64) {
+	if s == nil || execSec <= 0 {
+		return
+	}
+	t.Cost.Add(s.Features(), math.Log(1/execSec))
+}
+
+// FinishPretrain refits the model over the replayed samples and marks the
+// task pretrained.
+func (t *Task) FinishPretrain() {
+	if t.Cost.Len() == 0 {
+		return
+	}
+	t.refitCost()
+	t.Pretrained = true
 }
 
 // WarmStart seeds the task with a previously measured schedule and its
@@ -162,7 +214,7 @@ func (t *Task) WarmStart(s *schedule.Schedule, execSec float64) {
 		t.Best = s
 	}
 	t.Cost.Add(s.Features(), math.Log(1/execSec))
-	t.Cost.Refit()
+	t.refitCost()
 }
 
 // Score returns the cost model's positive performance score C(s) for the
@@ -176,10 +228,19 @@ func (t *Task) Score(s *schedule.Schedule) float64 {
 	return t.Cost.Throughput(s.Features())
 }
 
-// ScoreBatch scores many schedules at once, fanning feature extraction and
-// model prediction across the task's Pool. It matches Score element-wise
-// (the model is read-only between refits), charges the same per-query search
-// cost, and returns scores aligned with the input.
+// scoreChunk is the per-worker unit of ScoreBatch: large enough that
+// PredictBatch amortizes its tree-at-a-time pass, small enough that a
+// typical engine round (hundreds to ~1k candidates) still spreads across
+// the pool.
+const scoreChunk = 64
+
+// ScoreBatch scores many schedules at once: contiguous chunks fan out
+// across the task's Pool, and each chunk extracts its features and predicts
+// them in one PredictBatch pass. Chunks write disjoint output ranges and
+// PredictBatch is bit-identical to element-wise Predict (the model is
+// read-only between refits), so ScoreBatch matches Score element-wise for
+// every pool width. It charges the same per-query search cost as Score and
+// returns scores aligned with the input.
 func (t *Task) ScoreBatch(scheds []*schedule.Schedule) []float64 {
 	out := make([]float64, len(scheds))
 	if !t.Cost.Trained() {
@@ -189,8 +250,20 @@ func (t *Task) ScoreBatch(scheds []*schedule.Schedule) []float64 {
 		return out
 	}
 	t.Meas.AddCostModelQueries(len(scheds))
-	t.Pool.Run(len(scheds), func(i int) {
-		out[i] = t.Cost.Throughput(scheds[i].Features())
+	nChunks := (len(scheds) + scoreChunk - 1) / scoreChunk
+	t.Pool.Run(nChunks, func(c int) {
+		lo := c * scoreChunk
+		hi := lo + scoreChunk
+		if hi > len(scheds) {
+			hi = len(scheds)
+		}
+		feats := make([][]float64, hi-lo)
+		for i := range feats {
+			feats[i] = scheds[lo+i].Features()
+		}
+		for i, p := range t.Cost.PredictBatch(feats) {
+			out[lo+i] = costmodel.ToThroughput(p)
+		}
 	})
 	return out
 }
