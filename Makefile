@@ -26,8 +26,10 @@ build:
 test:
 	$(GO) test ./...
 
+# The full race suite exceeds Go's default 10m per-package timeout on
+# single-core boxes (see the verify notes); give it explicit headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

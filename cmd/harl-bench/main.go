@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"harl"
@@ -34,6 +36,21 @@ func main() {
 	workers := flag.Int("workers", 0, "tuning worker pool size (0 = preset default, -1 = all CPU cores); outputs are identical for every worker count")
 	out := flag.String("out", ".", "directory for the per-experiment BENCH_<exp>.json summaries (empty = skip writing them)")
 	flag.Parse()
+
+	// Validate every enumerated flag up front, so a typo exits non-zero with
+	// the valid-value list before any experiment burns minutes of tuning.
+	if *exp != "all" && !slices.Contains(harl.Experiments(), *exp) {
+		fatal(fmt.Errorf("unknown experiment %q (want all, %s)", *exp, strings.Join(harl.Experiments(), ", ")))
+	}
+	if *configs < 0 || *configs > 4 {
+		fatal(fmt.Errorf("-configs must be 0 (preset default) or 1..4, got %d", *configs))
+	}
+	if *scale < 0 {
+		fatal(fmt.Errorf("-scale must be >= 0, got %g", *scale))
+	}
+	if *budget < 0 {
+		fatal(fmt.Errorf("-budget must be >= 0, got %d", *budget))
+	}
 
 	cfg := harl.ExperimentConfig{
 		Seed:               *seed,
@@ -58,18 +75,21 @@ func main() {
 		}
 		start := time.Now()
 		if err := harl.RunExperiment(id, cfg, w); err != nil {
-			fmt.Fprintln(os.Stderr, "harl-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("(%s in %v)\n\n", id, elapsed.Round(time.Millisecond))
 		if *out != "" {
 			path, err := harl.WriteBenchSummary(*out, id, cfg, elapsed, buf.String())
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "harl-bench:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			fmt.Printf("summary: %s\n\n", path)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harl-bench:", err)
+	os.Exit(1)
 }

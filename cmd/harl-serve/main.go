@@ -1,0 +1,100 @@
+// Command harl-serve runs the HARL tuner as a long-lived HTTP service: a
+// persistent best-schedule registry in front of a coalescing tuning-job
+// queue, so the first request for a workload pays the search and every later
+// identical request costs a lookup.
+//
+// Usage:
+//
+//	harl-serve -addr :8080 -registry ./registry
+//	harl-serve -registry ./registry -import examples/pretrain/gemm-cpu.jsonl
+//
+// Endpoints (see the "Serving schedules" section of README.md):
+//
+//	POST   /v1/tune      tune (registry hit → 200 instantly; miss → 202 job;
+//	                     identical concurrent requests coalesce into one job)
+//	GET    /v1/schedule  look up a best schedule without tuning
+//	GET    /v1/jobs[/{id}]   job listing / status
+//	DELETE /v1/jobs/{id} cancel a job (the session checkpoints)
+//	GET    /healthz      liveness
+//	GET    /metrics      queue depth, hit rate, trial counters
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: intake stops, running
+// sessions are cancelled (each checkpoints and publishes nothing partial)
+// and the registry's journal handle is released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harl"
+	"harl/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	registryDir := flag.String("registry", "registry", "best-schedule registry directory (created if missing)")
+	importLog := flag.String("import", "", "seed the registry from this tuning-record journal before serving")
+	workers := flag.Int("workers", 2, "queue workers draining tuning jobs concurrently")
+	flag.Parse()
+
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	}
+	reg, err := harl.OpenRegistry(*registryDir)
+	if err != nil {
+		fatal(err)
+	}
+	if *importLog != "" {
+		improved, err := reg.ImportJournal(*importLog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("harl-serve: imported %s (%d improvements, %d keys)\n", *importLog, improved, reg.Len())
+	}
+
+	queue := service.NewQueue(&service.HarlTuner{Registry: reg}, *workers)
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(queue, reg)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("harl-serve: listening on %s (registry %s, %d keys, %d workers)\n",
+		*addr, *registryDir, reg.Len(), *workers)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("harl-serve: draining (signal received)")
+	}
+
+	// Graceful drain: stop accepting HTTP, cancel tuning sessions (each
+	// checkpoints), release the registry.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "harl-serve: http shutdown:", err)
+	}
+	queue.Shutdown()
+	if err := reg.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("harl-serve: drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harl-serve:", err)
+	os.Exit(1)
+}

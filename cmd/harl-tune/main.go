@@ -15,6 +15,12 @@
 //	harl-tune -op gemm -shape 1024,1024,1024 -resume tune.jsonl -trials -1
 //	harl-tune -op gemm -shape 1024,1024,1024 -pretrain tune.jsonl
 //	harl-tune -op gemm -shape 1024,1024,1024 -model-in model.json -model-out model.json
+//
+// With -registry the CLI shares the harl-serve daemon's best-schedule cache:
+// an already-tuned (workload, target, scheduler) returns instantly with zero
+// measured trials, and a fresh tune publishes its best for the next caller:
+//
+//	harl-tune -op gemm -shape 256,256,256 -registry ./registry
 package main
 
 import (
@@ -41,15 +47,29 @@ func main() {
 	pretrainLog := flag.String("pretrain", "", "pretrain the cost model by replaying this record log before search (model-only; may equal -log or -resume)")
 	modelIn := flag.String("model-in", "", "load a cost-model checkpoint (from -model-out or harl-train) before search")
 	modelOut := flag.String("model-out", "", "save the trained cost-model checkpoint after tuning")
+	registryDir := flag.String("registry", "", "best-schedule registry directory shared with harl-serve: resolve before tuning (a hit costs 0 trials) and publish the best after")
 	flag.Parse()
 
+	// Validate every name-typed flag up front, so a typo exits non-zero with
+	// the valid-name list instead of a bare error mid-run.
 	tgt, err := harl.TargetByName(*target)
 	if err != nil {
+		fatal(err)
+	}
+	if _, err := harl.SchedulerByName(*scheduler); err != nil {
 		fatal(err)
 	}
 	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed, Workers: *workers,
 		RecordLog: *logPath, ResumeFrom: *resume,
 		PretrainFrom: *pretrainLog, ModelIn: *modelIn, ModelOut: *modelOut}
+	if *registryDir != "" {
+		reg, err := harl.OpenRegistry(*registryDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer reg.Close()
+		opts.Registry = reg
+	}
 
 	if *network != "" {
 		res, err := harl.TuneNetwork(*network, *batch, tgt, opts)
@@ -58,6 +78,12 @@ func main() {
 		}
 		fmt.Printf("%s on %s with %s: estimated %.3f ms, measured %.3f ms (%d trials, %.0f s search)\n",
 			res.Network, tgt.Name(), *scheduler, res.EstimatedSeconds*1e3, res.MeasuredSeconds*1e3, res.Trials, res.SearchSeconds)
+		if res.CacheHits > 0 {
+			fmt.Printf("registry served %d of %d subgraph(s) from %s\n", res.CacheHits, len(res.Breakdown), *registryDir)
+		}
+		if res.Cancelled {
+			fmt.Println("run cancelled: partial bests shown; the record log and checkpoint are resumable")
+		}
 		if res.WarmStarted > 0 {
 			fmt.Printf("warm-started %d subgraph(s) from %s\n", res.WarmStarted, *resume)
 		}
@@ -90,6 +116,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("%s on %s with %s:\n", w.Name(), tgt.Name(), res.Scheduler)
+	if res.CacheHit {
+		fmt.Printf("  registry hit from %s: served without measuring a trial\n", *registryDir)
+	}
+	if res.Cancelled {
+		fmt.Println("  run cancelled: partial best shown; the record log and checkpoint are resumable")
+	}
 	if res.WarmStarted {
 		fmt.Printf("  warm-started from %s\n", *resume)
 	}
@@ -97,7 +129,7 @@ func main() {
 	fmt.Printf("  trials: %d, simulated search time: %.0f s\n", res.Trials, res.SearchSeconds)
 	fmt.Printf("  cost model: %d training samples, %d refits, pretrained=%v\n",
 		res.CostModelSamples, res.CostModelRefits, res.Pretrained)
-	if *modelOut != "" {
+	if *modelOut != "" && !res.CacheHit {
 		fmt.Printf("  cost model checkpoint: %s\n", *modelOut)
 	}
 	fmt.Printf("  schedule: %s\n", res.BestSchedule)

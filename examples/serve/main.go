@@ -1,0 +1,128 @@
+// Serve: the tuning-as-a-service walkthrough — start the daemon's service
+// stack in-process (registry + coalescing job queue + HTTP surface, the same
+// wiring cmd/harl-serve uses), pay for one cold tune, then watch every later
+// identical request come back instantly from the best-schedule registry.
+//
+// The sequence:
+//
+//  1. boot the service with a registry seeded from the committed GEMM journal
+//  2. GET /v1/schedule for the seeded workload  → immediate cache hit
+//  3. POST /v1/tune for an unseen workload      → 202, a job runs the search
+//  4. POST the same request twice concurrently  → both coalesce into one job
+//  5. POST it again after completion            → 200 cache hit, zero trials
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"harl"
+	"harl/internal/service"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "harl-serve-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Boot: registry seeded from the committed journal, two queue workers.
+	reg, err := harl.OpenRegistry(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+	if _, err := reg.ImportJournal("examples/pretrain/gemm-cpu.jsonl"); err != nil {
+		log.Fatal(err)
+	}
+	queue := service.NewQueue(&service.HarlTuner{Registry: reg}, 2)
+	defer queue.Shutdown()
+	srv := httptest.NewServer(service.NewServer(queue, reg))
+	defer srv.Close()
+	fmt.Printf("daemon up at %s with %d registry key(s)\n", srv.URL, reg.Len())
+
+	// 2. The seeded workload is already a lookup, not a search.
+	start := time.Now()
+	hit := getJSON(srv.URL + "/v1/schedule?op=gemm&shape=256,256,256&target=cpu&scheduler=harl")
+	fmt.Printf("seeded GEMM-256³: cache_hit=%v exec=%.1f us in %v\n",
+		hit["cache_hit"], hit["exec_seconds"].(float64)*1e6, time.Since(start).Round(time.Microsecond))
+
+	// 3+4. An unseen workload: three concurrent identical requests coalesce
+	// into exactly one tuning job.
+	body := `{"op":"gemm","shape":"128,128,128","target":"cpu","scheduler":"harl","trials":64}`
+	ids := make(chan string, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			resp := postJSON(srv.URL+"/v1/tune", body)
+			ids <- resp["job"].(map[string]any)["id"].(string)
+		}()
+	}
+	id := <-ids
+	for i := 0; i < 2; i++ {
+		if other := <-ids; other != id {
+			log.Fatalf("requests did not coalesce: %s vs %s", id, other)
+		}
+	}
+	fmt.Printf("cold GEMM-128³: 3 concurrent requests coalesced into job %s\n", id)
+
+	// Poll the job to completion (a real client would back off).
+	start = time.Now()
+	var job map[string]any
+	for {
+		job = getJSON(srv.URL + "/v1/jobs/" + id)
+		if s := job["state"].(string); s == "done" || s == "failed" || s == "cancelled" {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	outcome, ok := job["outcome"].(map[string]any)
+	if !ok || job["state"] != "done" {
+		log.Fatalf("job %s ended %v: %v", id, job["state"], job["error"])
+	}
+	fmt.Printf("job %s %s: %.0f trials in %v (search)\n",
+		id, job["state"], outcome["trials"], time.Since(start).Round(time.Millisecond))
+
+	// 5. The search published its best: the identical request is now free.
+	start = time.Now()
+	again := postJSON(srv.URL+"/v1/tune", body)
+	fmt.Printf("warm GEMM-128³: cache_hit=%v trials=%.0f in %v\n",
+		again["cache_hit"], again["trials"], time.Since(start).Round(time.Microsecond))
+
+	metrics := getJSON(srv.URL + "/healthz")["metrics"].(map[string]any)
+	fmt.Printf("metrics: hits=%.0f misses=%.0f coalesced=%.0f trials_measured=%.0f\n",
+		metrics["registry_hits"], metrics["registry_misses"],
+		metrics["coalesced"], metrics["trials_measured"])
+}
+
+func getJSON(url string) map[string]any {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return decode(resp)
+}
+
+func postJSON(url, body string) map[string]any {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return decode(resp)
+}
+
+func decode(resp *http.Response) map[string]any {
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

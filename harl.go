@@ -19,8 +19,10 @@
 package harl
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -30,7 +32,9 @@ import (
 	"harl/internal/experiments"
 	"harl/internal/hardware"
 	"harl/internal/pretrain"
+	"harl/internal/registry"
 	"harl/internal/search"
+	"harl/internal/sketch"
 	"harl/internal/texpr"
 	"harl/internal/tunelog"
 	"harl/internal/workload"
@@ -224,6 +228,17 @@ type Options struct {
 	// across workload structures, and model knowledge only transfers
 	// between equal dimensions).
 	ModelOut string
+	// Registry, when non-nil, puts a persistent best-schedule cache in front
+	// of the tuner. An operator run whose (workload, target, scheduler) key
+	// resolves returns the cached best instantly — zero measured trials,
+	// Result.CacheHit set — and, because no session runs, produces no
+	// session artifacts: RecordLog gains no records and ModelOut is not
+	// written. A network run seeds every resolving subgraph and skips the
+	// search entirely when all of them hit. After an uncancelled run, the
+	// new bests are published back, so the next identical request is a hit.
+	// Open one with OpenRegistry; a single Registry may be shared by
+	// concurrent tuning sessions in one process (the harl-serve daemon does).
+	Registry *Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -246,6 +261,16 @@ func (o Options) withDefaults() Options {
 
 // Schedulers lists the available scheduler presets.
 func Schedulers() []string { return core.SchedulerNames() }
+
+// SchedulerByName validates a scheduler preset name, echoing it back or
+// returning an error that lists the valid presets — the one place the
+// valid-name wording lives (harl-tune and the serving layer both use it).
+func SchedulerByName(name string) (string, error) {
+	if slices.Contains(Schedulers(), name) {
+		return name, nil
+	}
+	return "", fmt.Errorf("harl: unknown scheduler %q (want %s)", name, strings.Join(Schedulers(), ", "))
+}
 
 // Result summarizes an operator tuning run.
 type Result struct {
@@ -270,6 +295,16 @@ type Result struct {
 	// Pretrained reports whether the cost model carried offline knowledge
 	// (Options.PretrainFrom or Options.ModelIn) before the first round.
 	Pretrained bool
+	// CacheHit reports that Options.Registry resolved the request and the
+	// result was served from the best-schedule cache without measuring a
+	// single trial.
+	CacheHit bool
+	// Cancelled reports that the run's context was cancelled before the
+	// trial budget was spent. The result carries the partial best found so
+	// far; the record log (Options.RecordLog) holds every committed
+	// measurement and the model checkpoint (Options.ModelOut) was still
+	// written, so a cancelled session is fully resumable.
+	Cancelled bool
 }
 
 // hooks resolves the Options journal fields into core tuning hooks plus a
@@ -343,12 +378,160 @@ func saveModel(path string, cm costmodel.CostModel) error {
 	return costmodel.SaveFile(path, ck)
 }
 
+// Registry is an open persistent best-schedule store: the amortization layer
+// that turns tuning from a batch job into a service. It maps (workload
+// fingerprint, target, scheduler) to the best schedule ever published for
+// that key, durably (a journal plus an atomically-updated index under one
+// directory — see the README registry-layout section). It is safe for
+// concurrent use in-process, and across processes concurrent publishers
+// serialize behind a blocking per-publish lock on the journal — a CLI can
+// publish into the registry a running daemon serves from.
+type Registry struct {
+	reg *registry.Registry
+}
+
+// OpenRegistry opens (creating if needed) a best-schedule registry rooted at
+// dir. Opening never writes, so read-only consumers can open a registry
+// another process is publishing into.
+func OpenRegistry(dir string) (*Registry, error) {
+	r, err := registry.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{reg: r}, nil
+}
+
+// Resolve returns the registry's best record for the workload on the target
+// under the given scheduler preset ("" matches every preset, returning the
+// overall best).
+func (r *Registry) Resolve(w Workload, t Target, scheduler string) (Record, bool) {
+	rec, ok := r.reg.Resolve(w.sg.Fingerprint(), t.plat.Name, scheduler)
+	if !ok {
+		return Record{}, false
+	}
+	return fromInternalRecord(rec), true
+}
+
+// SavedSchedule is a registry hit rendered for consumption: the stored
+// record plus the reconstructed schedule and its noise-free performance.
+type SavedSchedule struct {
+	Record Record
+	// ExecSeconds is the noise-free simulator time of the stored schedule
+	// (the same quantity a fresh tuning run reports), GFLOPS the
+	// corresponding throughput.
+	ExecSeconds float64
+	GFLOPS      float64
+	// Schedule is the human-readable configuration.
+	Schedule string
+}
+
+// Lookup resolves the workload and reconstructs the stored schedule against
+// the workload's regenerated sketch list. A record whose steps no longer
+// deserialize (a foreign or stale registry) is a miss with an error.
+func (r *Registry) Lookup(w Workload, t Target, scheduler string) (SavedSchedule, bool, error) {
+	rec, ok := r.reg.Resolve(w.sg.Fingerprint(), t.plat.Name, scheduler)
+	if !ok {
+		return SavedSchedule{}, false, nil
+	}
+	s, err := rec.Schedule(sketch.Generate(w.sg))
+	if err != nil {
+		return SavedSchedule{}, false, fmt.Errorf("harl: registry record for %s does not reconstruct: %w", w.Name(), err)
+	}
+	exec := hardware.NewSimulator(t.plat).Exec(s)
+	return SavedSchedule{
+		Record:      fromInternalRecord(rec),
+		ExecSeconds: exec,
+		GFLOPS:      w.sg.FLOPs() / exec / 1e9,
+		Schedule:    s.String(),
+	}, true, nil
+}
+
+// ImportJournal publishes every record of a tuning-record log into the
+// registry, returning how many improved a key — how a daemon boots its cache
+// from committed journals.
+func (r *Registry) ImportJournal(path string) (int, error) { return r.reg.ImportJournal(path) }
+
+// Len returns the number of (workload, target, scheduler) keys with a best
+// record.
+func (r *Registry) Len() int { return r.reg.Len() }
+
+// Records returns the current best records in stable key order.
+func (r *Registry) Records() []Record {
+	recs := r.reg.Records()
+	out := make([]Record, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, fromInternalRecord(rec))
+	}
+	return out
+}
+
+// Close releases the registry. Publishes hold their file lock only for the
+// duration of each append, so Close is cheap and never blocks.
+func (r *Registry) Close() error { return r.reg.Close() }
+
+// publishTasks publishes every tuned task's best into the registry. Warm- or
+// cache-seeded bests re-publish as no-ops (the registry keeps incumbents on
+// ties), so only genuine improvements change the index. Tasks whose
+// fingerprint appears in broken force-replace their key: the incumbent there
+// is a poisoned record (resolves but does not reconstruct) that keep-better
+// publishing could never depose.
+func publishTasks(reg *Registry, tasks []*search.Task, target, scheduler string, seed uint64, broken map[string]bool) error {
+	for _, t := range tasks {
+		if t.Best == nil {
+			continue
+		}
+		fp := t.Graph.Fingerprint()
+		rec := tunelog.NewRecordFP(fp, target, scheduler, t.Best, t.BestExec, t.Trials, seed)
+		var err error
+		if broken[fp] {
+			err = reg.reg.Replace(rec)
+		} else {
+			_, err = reg.reg.Publish(rec)
+		}
+		if err != nil {
+			return fmt.Errorf("harl: publish to registry: %w", err)
+		}
+	}
+	return nil
+}
+
 // TuneOperator tunes one workload on a target.
 func TuneOperator(w Workload, t Target, o Options) (Result, error) {
+	return TuneOperatorContext(context.Background(), w, t, o)
+}
+
+// TuneOperatorContext is TuneOperator as a cancellable session. The context
+// is checked at measurement-round boundaries: on cancellation the in-flight
+// round commits, the record log holds every committed measurement, the model
+// checkpoint (Options.ModelOut) is still written, and the partial best comes
+// back with Result.Cancelled set — a cancelled session is fully resumable
+// via Options.ResumeFrom/PretrainFrom. An uncancelled run is byte-identical
+// to TuneOperator.
+func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (Result, error) {
 	o = o.withDefaults()
 	sched, err := core.NewScheduler(o.Scheduler)
 	if err != nil {
 		return Result{}, err
+	}
+	brokenRecord := false
+	if o.Registry != nil {
+		hit, ok, err := o.Registry.Lookup(w, t, o.Scheduler)
+		if err == nil && ok {
+			// The service contract: a known workload costs a lookup, not a
+			// search — zero trials, zero simulated search time.
+			return Result{
+				Scheduler:    o.Scheduler,
+				ExecSeconds:  hit.ExecSeconds,
+				GFLOPS:       hit.GFLOPS,
+				BestSchedule: hit.Schedule,
+				CacheHit:     true,
+			}, nil
+		}
+		// A reconstruct error (foreign registry) falls through to a fresh
+		// tune, which force-replaces the broken record (its recorded time
+		// may be unbeatably low, so keep-better publishing would preserve
+		// the poison forever).
+		brokenRecord = err != nil
 	}
 	workers := o.Workers
 	if workers == 0 {
@@ -362,19 +545,34 @@ func TuneOperator(w Workload, t Target, o Options) (Result, error) {
 		closeJournal()
 		return Result{}, err
 	}
-	res := core.TuneOperatorJournaled(w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed, workers, hooks)
+	res := core.TuneOperatorSession(ctx, w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed, workers, hooks)
 	if err := closeJournal(); err != nil {
 		return Result{}, err
 	}
-	if res.Task.Best == nil {
+	if res.Task.Best == nil && !res.Cancelled {
 		// Only reachable on a zero-trial cache replay whose log held no
 		// record for this (workload, target); fail loudly instead of
 		// returning an all-zero result.
 		return Result{}, fmt.Errorf("harl: no cached record for %s on %s in %q and no trial budget to measure", w.Name(), t.Name(), o.ResumeFrom)
 	}
 	if o.ModelOut != "" {
+		// Written for every session that ran, including one cancelled before
+		// its first round (an empty model round-trips fine) — only the
+		// registry-hit fast path above, which runs no session, skips it.
 		if err := saveModel(o.ModelOut, res.Task.Cost); err != nil {
 			return Result{}, err
+		}
+	}
+	if o.Registry != nil && !res.Cancelled && res.Task.Best != nil {
+		rec := tunelog.NewRecord(w.sg, t.plat.Name, o.Scheduler, res.Task.Best, res.Task.BestExec, res.Task.Trials, o.Seed)
+		var err error
+		if brokenRecord {
+			err = o.Registry.reg.Replace(rec)
+		} else {
+			_, err = o.Registry.reg.Publish(rec)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("harl: publish to registry: %w", err)
 		}
 	}
 	out := Result{
@@ -388,6 +586,7 @@ func TuneOperator(w Workload, t Target, o Options) (Result, error) {
 		CostModelSamples: res.CostSamples,
 		CostModelRefits:  res.CostRefits,
 		Pretrained:       res.Pretrained,
+		Cancelled:        res.Cancelled,
 	}
 	if res.Task.Best != nil {
 		out.BestSchedule = res.Task.Best.String()
@@ -424,6 +623,13 @@ type NetworkResult struct {
 	Pretrained       int
 	CostModelSamples int
 	CostModelRefits  int
+	// CacheHits is the number of subgraph tasks served from Options.Registry.
+	// When every subgraph hits, the search is skipped entirely and Trials is
+	// zero.
+	CacheHits int
+	// Cancelled reports that the run's context was cancelled before the
+	// budget was spent; the breakdown reflects the partial bests.
+	Cancelled bool
 }
 
 // networkByName resolves one of the paper's network names.
@@ -439,9 +645,54 @@ func networkByName(name string, batch int) (*workload.Network, error) {
 	return nil, fmt.Errorf("harl: unknown network %q", name)
 }
 
+// registryWarmDB collects the registry's best records for the network's
+// subgraphs under the run's scheduler into an in-memory database — the same
+// shape the resume cache uses — so registry hits ride the existing
+// warm-start machinery (seeded bests are never re-measured). A record that
+// no longer reconstructs against the subgraph's regenerated sketches is not
+// a hit: counting it would let a full-hit run skip the search with nothing
+// actually seeded; its fingerprint is reported in broken instead, so the
+// run's publish force-replaces the poisoned key. It returns the database
+// (nil when nothing resolved) and the number of subgraphs that hit.
+func registryWarmDB(reg *Registry, graphs []*texpr.Subgraph, plat *hardware.Platform, scheduler string) (db *tunelog.Database, hits int, broken map[string]bool) {
+	if reg == nil {
+		return nil, 0, nil
+	}
+	db = tunelog.NewDatabase()
+	for _, sg := range graphs {
+		rec, ok := reg.reg.Resolve(sg.Fingerprint(), plat.Name, scheduler)
+		if !ok {
+			continue
+		}
+		if _, err := rec.Schedule(sketch.Generate(sg)); err != nil {
+			if broken == nil {
+				broken = make(map[string]bool)
+			}
+			broken[sg.Fingerprint()] = true
+			continue
+		}
+		db.Add(rec)
+		hits++
+	}
+	if hits == 0 {
+		db = nil
+	}
+	return db, hits, broken
+}
+
 // TuneNetwork tunes one of the paper's networks ("bert", "resnet50",
 // "mobilenetv2") end to end.
 func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, error) {
+	return TuneNetworkContext(context.Background(), name, batch, t, o)
+}
+
+// TuneNetworkContext is TuneNetwork as a cancellable session: the context is
+// checked at round/wave boundaries, so cancellation leaves a flushed record
+// log, a saved model checkpoint (Options.ModelOut) and the partial
+// per-subgraph bests with NetworkResult.Cancelled set — resumable exactly
+// like an operator session. An uncancelled run is byte-identical to
+// TuneNetwork.
+func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o Options) (NetworkResult, error) {
 	o = o.withDefaults()
 	net, err := networkByName(name, batch)
 	if err != nil {
@@ -460,6 +711,13 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 		closeJournal()
 		return NetworkResult{}, err
 	}
+	regDB, cacheHits, brokenKeys := registryWarmDB(o.Registry, net.Subgraphs, t.plat, o.Scheduler)
+	budget := o.Trials
+	if o.Registry != nil && cacheHits == len(net.Subgraphs) {
+		// Every subgraph is served from the registry: the whole network run
+		// collapses to a lookup — zero measured trials.
+		budget = 0
+	}
 	if o.Workers != 0 {
 		pnt, err := core.NewParallelNetworkTuner(net, t.plat, o.Scheduler, o.MeasureK, o.Seed, o.Workers)
 		if err != nil {
@@ -471,10 +729,13 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 		if hooks.Warm != nil {
 			warmed = pnt.WarmStart(hooks.Warm)
 		}
+		if regDB != nil {
+			pnt.WarmStart(regDB)
+		}
 		if hooks.Journal != nil {
 			pnt.AttachJournal(hooks.Journal, o.Seed)
 		}
-		pnt.Run(o.Trials)
+		cancelled := pnt.RunCtx(ctx, budget)
 		if err := closeJournal(); err != nil {
 			return NetworkResult{}, err
 		}
@@ -486,6 +747,11 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 				return NetworkResult{}, err
 			}
 		}
+		if o.Registry != nil && !cancelled {
+			if err := publishTasks(o.Registry, pnt.MT.Tasks, t.plat.Name, o.Scheduler, o.Seed, brokenKeys); err != nil {
+				return NetworkResult{}, err
+			}
+		}
 		out := NetworkResult{
 			Network:          net.Name,
 			EstimatedSeconds: pnt.EstimatedExec(),
@@ -494,6 +760,8 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 			SearchSeconds:    pnt.CostSec(),
 			WarmStarted:      warmed,
 			Pretrained:       pretrained,
+			CacheHits:        cacheHits,
+			Cancelled:        cancelled,
 		}
 		out.CostModelSamples, out.CostModelRefits = costModelTotals(pnt.MT.Tasks)
 		for i, b := range pnt.Breakdown() {
@@ -518,10 +786,13 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 	if hooks.Warm != nil {
 		warmed = nt.WarmStart(hooks.Warm)
 	}
+	if regDB != nil {
+		nt.WarmStart(regDB)
+	}
 	if hooks.Journal != nil {
 		nt.AttachJournal(hooks.Journal, o.Seed)
 	}
-	nt.Run(o.Trials)
+	cancelled := nt.RunCtx(ctx, budget)
 	if err := closeJournal(); err != nil {
 		return NetworkResult{}, err
 	}
@@ -533,6 +804,11 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 			return NetworkResult{}, err
 		}
 	}
+	if o.Registry != nil && !cancelled {
+		if err := publishTasks(o.Registry, nt.Tasks, t.plat.Name, o.Scheduler, o.Seed, brokenKeys); err != nil {
+			return NetworkResult{}, err
+		}
+	}
 	out := NetworkResult{
 		Network:          net.Name,
 		EstimatedSeconds: nt.EstimatedExec(),
@@ -541,6 +817,8 @@ func TuneNetwork(name string, batch int, t Target, o Options) (NetworkResult, er
 		SearchSeconds:    nt.Meas.CostSec(),
 		WarmStarted:      warmed,
 		Pretrained:       pretrained,
+		CacheHits:        cacheHits,
+		Cancelled:        cancelled,
 	}
 	out.CostModelSamples, out.CostModelRefits = costModelTotals(nt.Tasks)
 	for i, b := range nt.Breakdown() {

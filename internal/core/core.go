@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"harl/internal/costmodel"
@@ -131,6 +132,10 @@ type OperatorResult struct {
 	CostSamples int
 	CostRefits  int
 	Pretrained  bool
+	// Cancelled reports that the run's context was cancelled before the
+	// budget was spent: the result carries the partial best found so far, and
+	// every committed measurement reached the journal hooks.
+	Cancelled bool
 }
 
 // TuneHooks wires a tuning run to the persistent tuning-record journal
@@ -263,6 +268,15 @@ func TuneOperatorWorkers(sg *texpr.Subgraph, plat *hardware.Platform, sched *Sch
 // with a warm hit performs no measurements and returns the cached best — the
 // pure cache-replay path.
 func TuneOperatorJournaled(sg *texpr.Subgraph, plat *hardware.Platform, sched *Scheduler, budget, measureK int, seed uint64, workers int, hooks TuneHooks) *OperatorResult {
+	return TuneOperatorSession(context.Background(), sg, plat, sched, budget, measureK, seed, workers, hooks)
+}
+
+// TuneOperatorSession is TuneOperatorJournaled as a cancellable session: the
+// context is checked at round boundaries, so cancellation stops the search
+// after the in-flight round commits — the journal hook has received every
+// measurement, the task's cost model and best are consistent, and the result
+// carries the partial best with Cancelled set.
+func TuneOperatorSession(ctx context.Context, sg *texpr.Subgraph, plat *hardware.Platform, sched *Scheduler, budget, measureK int, seed uint64, workers int, hooks TuneHooks) *OperatorResult {
 	rng := xrand.New(seed)
 	sim := hardware.NewSimulator(plat)
 	meas := hardware.NewMeasurer(sim, rng.Split())
@@ -278,7 +292,7 @@ func TuneOperatorJournaled(sg *texpr.Subgraph, plat *hardware.Platform, sched *S
 	if hooks.Journal != nil {
 		attachJournal(task, hooks.Journal, sched.Name, seed)
 	}
-	search.Tune(sched.Engine, task, budget, measureK)
+	cancelled := search.TuneCtx(ctx, sched.Engine, task, budget, measureK)
 
 	res := &OperatorResult{
 		Scheduler:   sched.Name,
@@ -289,6 +303,7 @@ func TuneOperatorJournaled(sg *texpr.Subgraph, plat *hardware.Platform, sched *S
 		CostSamples: task.Cost.Len(),
 		CostRefits:  task.CostRefits,
 		Pretrained:  task.Pretrained,
+		Cancelled:   cancelled,
 	}
 	if task.Best != nil {
 		res.BestExec = sim.Exec(task.Best)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"harl/internal/bandit"
@@ -221,7 +222,19 @@ func (nt *NetworkTuner) Round() int {
 
 // Run tunes until the measurement budget is exhausted.
 func (nt *NetworkTuner) Run(budgetTrials int) {
+	nt.RunCtx(context.Background(), budgetTrials)
+}
+
+// RunCtx is Run with cooperative cancellation, checked at round boundaries:
+// a cancelled session finishes the in-flight round (its measurements commit
+// and reach any attached journal) and stops instead of selecting another
+// task. It returns true if the context cut the run short; an uncancelled run
+// takes exactly the same path as Run.
+func (nt *NetworkTuner) RunCtx(ctx context.Context, budgetTrials int) bool {
 	for nt.Meas.Trials() < budgetTrials {
+		if ctx.Err() != nil {
+			return true
+		}
 		before := nt.Meas.Trials()
 		nt.Round()
 		if nt.Meas.Trials() == before {
@@ -231,6 +244,7 @@ func (nt *NetworkTuner) Run(budgetTrials int) {
 			search.Tune(search.NewRandom(), nt.Tasks[last], nt.Tasks[last].Trials+nt.RoundTrials, nt.RoundTrials)
 		}
 	}
+	return false
 }
 
 // SnapshotAtExec returns the earliest snapshot whose estimated execution time

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"harl/internal/hardware"
@@ -90,6 +91,13 @@ func (p *ParallelNetworkTuner) SeedCostModels(hooks TuneHooks) int {
 
 // Run tunes until the measurement budget is exhausted.
 func (p *ParallelNetworkTuner) Run(budgetTrials int) { p.MT.Run(budgetTrials) }
+
+// RunCtx is Run with cooperative cancellation at wave barriers (see
+// search.MultiTuner.RunCtx); it returns true if the context cut the run
+// short.
+func (p *ParallelNetworkTuner) RunCtx(ctx context.Context, budgetTrials int) bool {
+	return p.MT.RunCtx(ctx, budgetTrials)
+}
 
 // Trials returns the cumulative measurement count across all tasks.
 func (p *ParallelNetworkTuner) Trials() int { return p.MT.Trials() }

@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"harl/internal/atomicfile"
 )
 
 // CheckpointVersion is the artifact format version written by this package.
@@ -138,15 +140,16 @@ func UnmarshalCheckpoint(data []byte) (*Model, error) {
 	return m, nil
 }
 
-// SaveFile writes a model's checkpoint to path (0644, truncating). It
-// accepts any Checkpointer so callers holding the CostModel interface can
-// save without naming the concrete type.
+// SaveFile writes a model's checkpoint to path (0644). It accepts any
+// Checkpointer so callers holding the CostModel interface can save without
+// naming the concrete type. The write is atomic (temp file + rename): a run
+// killed mid-save never truncates an existing checkpoint.
 func SaveFile(path string, m Checkpointer) error {
 	data, err := m.MarshalCheckpoint()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := atomicfile.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("costmodel: write checkpoint: %w", err)
 	}
 	return nil

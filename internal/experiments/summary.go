@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"harl/internal/atomicfile"
 )
 
 // Summary is the machine-readable trace of one experiment run, written as
@@ -47,7 +49,9 @@ func NewSummary(id string, cfg Config, duration time.Duration, output string) Su
 }
 
 // WriteFile writes the summary as BENCH_<experiment>.json under dir
-// (created if missing) and returns the file path.
+// (created if missing) and returns the file path. The write is atomic
+// (temp file + rename), so a run killed mid-write never leaves a truncated
+// summary behind an intact one.
 func (s Summary) WriteFile(dir string) (string, error) {
 	if dir == "" {
 		dir = "."
@@ -60,7 +64,7 @@ func (s Summary) WriteFile(dir string) (string, error) {
 		return "", fmt.Errorf("experiments: marshal summary: %w", err)
 	}
 	path := filepath.Join(dir, "BENCH_"+s.Experiment+".json")
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := atomicfile.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return "", fmt.Errorf("experiments: write summary: %w", err)
 	}
 	return path, nil

@@ -1,0 +1,372 @@
+// Package registry implements the persistent best-schedule store of the HARL
+// reproduction: the end product of tuning — the best known schedule per
+// (workload fingerprint, target, scheduler) — kept as a durable, queryable
+// artifact so a second request for an already-tuned workload costs a lookup
+// instead of a search.
+//
+// On disk a registry is a directory with two files:
+//
+//	journal.jsonl  append-only tunelog journal of every published record —
+//	               the authoritative state (same schema as tuning logs, so
+//	               any tuning journal can be imported wholesale; replaying it
+//	               in order reproduces the best map exactly, including Force
+//	               heal records)
+//	index.json     atomic snapshot of the current best record per key for
+//	               external readers and tools; rewritten via temp-file +
+//	               rename after journal growth, with the journal record
+//	               count embedded so a consumer can tell whether the
+//	               snapshot lags the journal
+//
+// Concurrency: a Registry value is safe for concurrent readers and
+// concurrent publishers in-process (RWMutex; publishes serialize). Across
+// processes, writers serialize each publish behind a blocking advisory lock
+// on the journal (tunelog.OpenJournalWait), held only for the append — two
+// processes publishing concurrently interleave whole records, never bytes.
+// Open never writes, so read-only consumers can open a registry another
+// process is publishing into; and a Resolve miss re-checks the journal's
+// stat and reloads when another process has grown it, so a long-running
+// daemon observes records a CLI publishes beside it.
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"harl/internal/atomicfile"
+	"harl/internal/tunelog"
+)
+
+// IndexVersion is the index.json format version written by this package.
+const IndexVersion = 1
+
+// JournalFile and IndexFile are the registry's on-disk layout under its
+// directory.
+const (
+	JournalFile = "journal.jsonl"
+	IndexFile   = "index.json"
+)
+
+// Registry is an open best-schedule store.
+type Registry struct {
+	dir string
+
+	mu    sync.RWMutex
+	best  map[string]tunelog.Record // key() -> current best record
+	seen  map[tunelog.Record]bool   // records known to be in the journal
+	size  int                       // distinct records in the journal
+	stamp fileStamp                 // journal stat we are in sync with
+}
+
+// fileStamp identifies a journal state cheaply; the journal is append-only,
+// so any growth changes the size (and a cross-process publish that somehow
+// kept the size would still change mtime).
+type fileStamp struct {
+	size  int64
+	mtime time.Time
+}
+
+func stampOf(path string) fileStamp {
+	st, err := os.Stat(path)
+	if err != nil {
+		return fileStamp{}
+	}
+	return fileStamp{size: st.Size(), mtime: st.ModTime()}
+}
+
+// key is the exact lookup key. The scheduler is part of the key: different
+// presets explore different spaces and a service comparing them must not
+// cross-contaminate their bests.
+func key(workload, target, scheduler string) string {
+	return workload + "\x00" + target + "\x00" + scheduler
+}
+
+type indexFile struct {
+	V int `json:"v"`
+	// JournalRecords is the distinct journal record count the snapshot was
+	// built from, so external consumers can tell a lagging snapshot.
+	JournalRecords int              `json:"journal_records"`
+	Best           []tunelog.Record `json:"best"`
+}
+
+// loadIndex parses an index snapshot — for external tools and tests; the
+// registry itself treats the journal as authoritative and never reads the
+// index back.
+func loadIndex(path string) (indexFile, error) {
+	var idx indexFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return idx, err
+	}
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return idx, fmt.Errorf("registry: damaged index: %w", err)
+	}
+	if idx.V != IndexVersion {
+		return idx, fmt.Errorf("registry: unknown index version %d", idx.V)
+	}
+	return idx, nil
+}
+
+// Open opens (creating if needed) the registry directory and loads its state
+// from the journal (the index snapshot is written for external readers, never
+// read back — the journal is authoritative and must be parsed anyway). Open
+// never writes, so read-only consumers can open a registry another process
+// is actively publishing into.
+func Open(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: create dir: %w", err)
+	}
+	r := &Registry{dir: dir}
+	if err := r.loadLocked(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadLocked (re)builds the in-memory state from the journal. Caller holds
+// the write lock (or is constructing the registry).
+func (r *Registry) loadLocked() error {
+	r.best = make(map[string]tunelog.Record)
+	r.seen = make(map[tunelog.Record]bool)
+	r.size = 0
+	path := filepath.Join(r.dir, JournalFile)
+	r.stamp = stampOf(path)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("registry: stat journal: %w", err)
+	}
+	db, err := tunelog.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, rec := range db.Records() {
+		r.seen[rec] = true
+		r.absorb(rec)
+	}
+	r.size = db.Size()
+	return nil
+}
+
+// refreshLocked reloads from disk if another process has grown the journal
+// since our last load or append. Caller holds the write lock.
+func (r *Registry) refreshLocked() error {
+	if stampOf(filepath.Join(r.dir, JournalFile)) == r.stamp {
+		return nil
+	}
+	return r.loadLocked()
+}
+
+// absorb folds one record into the in-memory best map, reporting whether it
+// improved (or established) its key. Ties keep the incumbent, so re-imports
+// of equal measurements never churn the map; a Force record wins
+// unconditionally (the durable heal path — journal replays preserve it
+// because absorption is order-sensitive).
+func (r *Registry) absorb(rec tunelog.Record) bool {
+	k := key(rec.Workload, rec.Target, rec.Scheduler)
+	if !rec.Force {
+		if cur, ok := r.best[k]; ok && cur.ExecSec <= rec.ExecSec {
+			return false
+		}
+	}
+	r.best[k] = rec
+	return true
+}
+
+// writeIndex snapshots the best map as index.json (atomic temp-file +
+// rename), keys sorted so equal states serialize byte-identically. Caller
+// holds the write lock.
+func (r *Registry) writeIndex() error {
+	idx := indexFile{V: IndexVersion, JournalRecords: r.size}
+	keys := make([]string, 0, len(r.best))
+	for k := range r.best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		idx.Best = append(idx.Best, r.best[k])
+	}
+	data, err := json.MarshalIndent(idx, "", " ")
+	if err != nil {
+		return fmt.Errorf("registry: marshal index: %w", err)
+	}
+	return atomicfile.WriteFile(filepath.Join(r.dir, IndexFile), append(data, '\n'), 0o644)
+}
+
+// Resolve returns the best known record for the key, if any — the cache-hit
+// path a tuning request consults before spending a single trial. An empty
+// scheduler matches any preset, returning the best record across all of them
+// (ties to the lexicographically smaller scheduler name, deterministically).
+// A miss re-checks the journal on disk first, so publishes from other
+// processes become visible without reopening.
+func (r *Registry) Resolve(workload, target, scheduler string) (tunelog.Record, bool) {
+	r.mu.RLock()
+	rec, ok := r.resolveLocked(workload, target, scheduler)
+	stale := !ok && stampOf(filepath.Join(r.dir, JournalFile)) != r.stamp
+	r.mu.RUnlock()
+	if ok || !stale {
+		return rec, ok
+	}
+	// Miss with a grown journal: another process published since our load.
+	// Reload and retry once (a miss already costs a full search downstream,
+	// so the reload is cheap by comparison).
+	r.mu.Lock()
+	if err := r.refreshLocked(); err != nil {
+		r.mu.Unlock()
+		return tunelog.Record{}, false
+	}
+	rec, ok = r.resolveLocked(workload, target, scheduler)
+	r.mu.Unlock()
+	return rec, ok
+}
+
+func (r *Registry) resolveLocked(workload, target, scheduler string) (tunelog.Record, bool) {
+	if scheduler != "" {
+		rec, ok := r.best[key(workload, target, scheduler)]
+		return rec, ok
+	}
+	var out tunelog.Record
+	found := false
+	for _, rec := range r.best {
+		if rec.Workload != workload || rec.Target != target {
+			continue
+		}
+		if !found || rec.ExecSec < out.ExecSec ||
+			(rec.ExecSec == out.ExecSec && rec.Scheduler < out.Scheduler) {
+			out, found = rec, true
+		}
+	}
+	return out, found
+}
+
+// appendLocked appends records to the journal — opened, appended and closed
+// under a blocking advisory lock, so concurrent publishers from other
+// processes serialize at publish granularity — absorbs them into the best
+// map, and rewrites the index snapshot once. Records the journal is already
+// known to hold are skipped entirely (re-importing a seed journal on every
+// daemon boot must not grow the file). It returns how many records improved
+// (or established) their key. Caller holds the write lock.
+func (r *Registry) appendLocked(recs []tunelog.Record) (int, error) {
+	path := filepath.Join(r.dir, JournalFile)
+	jr, err := tunelog.OpenJournalWait(path)
+	if err != nil {
+		return 0, err
+	}
+	// The refresh must happen AFTER the flock is held: while we were blocked
+	// waiting, another process may have appended — the journal is frozen to
+	// other writers now, so what we load here is exactly what our stamp will
+	// describe. Refreshing before the lock would fold the other writer's
+	// bytes into our post-append stamp without ever loading their records,
+	// making them permanently invisible to this process.
+	if stampOf(path) != r.stamp {
+		if err := r.loadLocked(); err != nil {
+			jr.Close()
+			return 0, err
+		}
+	}
+	fresh := make([]tunelog.Record, 0, len(recs))
+	for _, rec := range recs {
+		if !r.seen[rec] {
+			fresh = append(fresh, rec)
+		}
+	}
+	if len(fresh) == 0 {
+		return 0, jr.Close()
+	}
+	improved := 0
+	for _, rec := range fresh {
+		if err := jr.Append(rec); err != nil {
+			jr.Close()
+			return improved, err
+		}
+		r.seen[rec] = true
+		r.size++
+		if r.absorb(rec) {
+			improved++
+		}
+	}
+	if err := jr.Close(); err != nil {
+		return improved, err
+	}
+	r.stamp = stampOf(path)
+	return improved, r.writeIndex()
+}
+
+// Publish records one measurement into the registry: it is appended to the
+// journal (unless the journal already holds it) and the best map and index
+// snapshot update only when the record beats the current best for its key.
+// The returned bool reports that improvement.
+func (r *Registry) Publish(rec tunelog.Record) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	improved, err := r.appendLocked([]tunelog.Record{rec})
+	return improved > 0, err
+}
+
+// Replace force-installs a record as its key's best even if the incumbent
+// has a lower recorded time — the repair path for a poisoned key: a foreign
+// record whose steps no longer reconstruct can carry an unbeatably low
+// ExecSec, and Publish's keep-better rule would preserve it forever. The
+// heal is durable: the record is journaled with Force set, and journal
+// replays absorb it in order, so rebuilds keep the replacement.
+func (r *Registry) Replace(rec tunelog.Record) error {
+	rec.Force = true
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.appendLocked([]tunelog.Record{rec})
+	return err
+}
+
+// ImportJournal publishes every record of a tuning-record log (corrupt lines
+// skipped, duplicates collapsed — tunelog.LoadFile semantics) in one append
+// batch and returns how many improved the registry. Importing the same
+// journal again is a no-op. This is how a daemon boots from a committed
+// journal, and how offline tuning runs feed a shared cache.
+func (r *Registry) ImportJournal(path string) (int, error) {
+	db, err := tunelog.LoadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appendLocked(db.Records())
+}
+
+// Len returns the number of distinct (workload, target, scheduler) keys with
+// a best record.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.best)
+}
+
+// Records returns a copy of the current best records, sorted by key — the
+// stable enumeration order the index file uses.
+func (r *Registry) Records() []tunelog.Record {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keys := make([]string, 0, len(r.best))
+	for k := range r.best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]tunelog.Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, r.best[k])
+	}
+	return out
+}
+
+// Dir returns the registry's directory path.
+func (r *Registry) Dir() string { return r.dir }
+
+// Close releases the registry. Publishes hold the journal (and its advisory
+// lock) only for the duration of each append, so there is nothing to tear
+// down — Close exists so callers can treat a Registry like the file-backed
+// resource it is.
+func (r *Registry) Close() error { return nil }

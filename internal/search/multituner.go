@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"harl/internal/hardware"
@@ -354,11 +355,28 @@ func (mt *MultiTuner) wave(width, remaining int) []int {
 // waves measure nothing new — the schedule spaces are exhausted — Run
 // returns rather than spinning on an unreachable budget.
 func (mt *MultiTuner) Run(budgetTrials int) {
+	mt.RunCtx(context.Background(), budgetTrials)
+}
+
+// RunCtx is Run with cooperative cancellation, checked at wave barriers: a
+// cancelled session finishes its in-flight wave — so every measurement is
+// committed, its record drained to the recorder in the deterministic fan-in
+// order, and the allocation history stays consistent — then stops instead of
+// selecting another wave. It returns true if the context cut the run short.
+// An uncancelled run takes exactly the same path as Run, preserving the
+// workers=1 ≡ workers=N byte-identical-journal contract.
+func (mt *MultiTuner) RunCtx(ctx context.Context, budgetTrials int) bool {
 	stalled := 0
 	for {
+		// Budget first, then cancellation — a run whose final wave spent the
+		// budget completed, even if the context fired during that wave (the
+		// serial loops order their checks the same way).
 		remaining := budgetTrials - mt.Trials()
 		if remaining <= 0 {
-			return
+			return false
+		}
+		if ctx.Err() != nil {
+			return true
 		}
 		width := mt.Cfg.WaveWidth
 		if width <= 0 || width > len(mt.Tasks) {
@@ -371,7 +389,7 @@ func (mt *MultiTuner) Run(budgetTrials int) {
 		mt.wave(width, remaining)
 		if mt.Trials() == before {
 			if stalled++; stalled >= 3 {
-				return
+				return false
 			}
 		} else {
 			stalled = 0

@@ -15,6 +15,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"harl/internal/costmodel"
@@ -322,7 +323,21 @@ func (t *Task) ExploreRandom(k int) {
 // Tune runs the engine on a single task until the measurement budget is
 // exhausted (the operator-level experiments of Section 6.2).
 func Tune(e Engine, t *Task, budgetTrials, measureK int) {
+	TuneCtx(context.Background(), e, t, budgetTrials, measureK)
+}
+
+// TuneCtx is Tune with cooperative cancellation: the context is checked at
+// round boundaries, so a cancelled session stops after its in-flight round
+// commits — every measurement that happened is fully accounted (best logs,
+// cost model, OnMeasure journal callbacks) and the task is left in a
+// consistent, resumable state. It returns true if the run was cut short by
+// the context. An uncancelled run takes exactly the same path as Tune, so
+// the determinism contract is untouched.
+func TuneCtx(ctx context.Context, e Engine, t *Task, budgetTrials, measureK int) bool {
 	for t.Trials < budgetTrials {
+		if ctx.Err() != nil {
+			return true
+		}
 		k := measureK
 		if remaining := budgetTrials - t.Trials; k > remaining {
 			k = remaining
@@ -331,4 +346,5 @@ func Tune(e Engine, t *Task, budgetTrials, measureK int) {
 			t.ExploreRandom(k)
 		}
 	}
+	return false
 }

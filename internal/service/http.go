@@ -1,0 +1,241 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"harl"
+)
+
+// Server is the HTTP surface of the tuning service:
+//
+//	POST   /v1/tune      submit a tuning request (resolve-first: a registry
+//	                     hit answers 200 immediately with zero trials; a miss
+//	                     enqueues and answers 202 with the job — identical
+//	                     concurrent requests coalesce into one job)
+//	GET    /v1/schedule  look up the best known schedule without tuning
+//	GET    /v1/jobs      list jobs; GET /v1/jobs/{id} one job's state
+//	DELETE /v1/jobs/{id} cancel a queued or running job (the session
+//	                     checkpoints and keeps its partial best)
+//	GET    /healthz      liveness
+//	GET    /metrics      queue depth, hit rate, trial counters (Prometheus
+//	                     text format)
+type Server struct {
+	queue    *Queue
+	registry *harl.Registry
+	mux      *http.ServeMux
+}
+
+// NewServer wires the queue and the (possibly nil) registry into a handler.
+func NewServer(q *Queue, reg *harl.Registry) *Server {
+	s := &Server{queue: q, registry: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
+	s.mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before writing the header: an unencodable value (which would
+	// otherwise truncate the body mid-status) becomes an explicit 500.
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		http.Error(w, `{"error":"internal: response not JSON-encodable"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// lookup resolves a normalized operator request against the registry.
+// Network requests have no single stored schedule and never fast-path. A
+// stored record that no longer reconstructs (foreign or stale registry) is
+// reported as a miss, not an error: the tune path falls through to a fresh
+// search that repairs the key, and the lookup endpoint reports absence —
+// only an invalid request surfaces an error (a 400 to the client).
+func (s *Server) lookup(req Request) (harl.SavedSchedule, bool, error) {
+	if s.registry == nil || req.Network != "" {
+		return harl.SavedSchedule{}, false, nil
+	}
+	w, tgt, _, err := resolveRequest(req)
+	if err != nil {
+		return harl.SavedSchedule{}, false, err
+	}
+	hit, ok, err := s.registry.Lookup(w, tgt, req.Scheduler)
+	if err != nil {
+		return harl.SavedSchedule{}, false, nil
+	}
+	return hit, ok, nil
+}
+
+// scheduleResponse is the JSON shape of a registry hit.
+type scheduleResponse struct {
+	CacheHit     bool    `json:"cache_hit"`
+	Workload     string  `json:"workload"`
+	Target       string  `json:"target"`
+	Scheduler    string  `json:"scheduler"`
+	ExecSeconds  float64 `json:"exec_seconds"`
+	GFLOPS       float64 `json:"gflops"`
+	Trials       int     `json:"trials"`
+	BestSchedule string  `json:"best_schedule"`
+	Steps        string  `json:"steps"`
+}
+
+func hitResponse(hit harl.SavedSchedule) scheduleResponse {
+	return scheduleResponse{
+		CacheHit:     true,
+		Workload:     hit.Record.Workload,
+		Target:       hit.Record.Target,
+		Scheduler:    hit.Record.Scheduler,
+		ExecSeconds:  hit.ExecSeconds,
+		GFLOPS:       hit.GFLOPS,
+		BestSchedule: hit.Schedule,
+		Steps:        hit.Record.Steps,
+	}
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	req = req.normalize()
+	hit, ok, err := s.lookup(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if ok {
+		// The whole point of the service: a known workload is answered from
+		// the registry without queueing anything.
+		s.queue.CountRegistryHit()
+		writeJSON(w, http.StatusOK, hitResponse(hit))
+		return
+	}
+	job, coalesced, err := s.queue.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !coalesced {
+		s.queue.CountRegistryMiss()
+	}
+	snap, _ := s.queue.Get(job.ID)
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": snap, "coalesced": coalesced})
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.registry == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no registry configured"))
+		return
+	}
+	q := r.URL.Query()
+	batch := 1
+	if b := q.Get("batch"); b != "" {
+		v, err := strconv.Atoi(b)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad batch %q", b))
+			return
+		}
+		batch = v
+	}
+	req := Request{
+		Op:        q.Get("op"),
+		Shape:     q.Get("shape"),
+		Batch:     batch,
+		Target:    q.Get("target"),
+		Scheduler: q.Get("scheduler"),
+	}.normalize()
+	if req.Op == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: schedule lookup needs op and shape query parameters"))
+		return
+	}
+	hit, ok, err := s.lookup(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !ok {
+		s.queue.CountRegistryMiss()
+		writeJSON(w, http.StatusNotFound, map[string]any{"cache_hit": false, "error": "no schedule for this (workload, target, scheduler)"})
+		return
+	}
+	s.queue.CountRegistryHit()
+	writeJSON(w, http.StatusOK, hitResponse(hit))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.queue.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.queue.Cancel(id) {
+		writeError(w, http.StatusConflict, fmt.Errorf("service: job %q does not exist or already finished", id))
+		return
+	}
+	job, _ := s.queue.Get(id)
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	keys := 0
+	if s.registry != nil {
+		keys = s.registry.Len()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"registry_keys": keys,
+		"metrics":       s.queue.Metrics(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.queue.Metrics()
+	keys := 0
+	if s.registry != nil {
+		keys = s.registry.Len()
+	}
+	hitRate := 0.0
+	if total := m.RegistryHits + m.RegistryMisses; total > 0 {
+		hitRate = float64(m.RegistryHits) / float64(total)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP harl_queue_depth Tuning jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE harl_queue_depth gauge\nharl_queue_depth %d\n", m.QueueDepth)
+	fmt.Fprintf(w, "# TYPE harl_jobs_running gauge\nharl_jobs_running %d\n", m.Running)
+	fmt.Fprintf(w, "# TYPE harl_jobs_submitted_total counter\nharl_jobs_submitted_total %d\n", m.Submitted)
+	fmt.Fprintf(w, "# TYPE harl_jobs_coalesced_total counter\nharl_jobs_coalesced_total %d\n", m.Coalesced)
+	fmt.Fprintf(w, "# TYPE harl_jobs_done_total counter\nharl_jobs_done_total %d\n", m.Done)
+	fmt.Fprintf(w, "# TYPE harl_jobs_failed_total counter\nharl_jobs_failed_total %d\n", m.Failed)
+	fmt.Fprintf(w, "# TYPE harl_jobs_cancelled_total counter\nharl_jobs_cancelled_total %d\n", m.Cancelled)
+	fmt.Fprintf(w, "# TYPE harl_registry_hits_total counter\nharl_registry_hits_total %d\n", m.RegistryHits)
+	fmt.Fprintf(w, "# TYPE harl_registry_misses_total counter\nharl_registry_misses_total %d\n", m.RegistryMisses)
+	fmt.Fprintf(w, "# TYPE harl_registry_hit_rate gauge\nharl_registry_hit_rate %.4f\n", hitRate)
+	fmt.Fprintf(w, "# TYPE harl_registry_keys gauge\nharl_registry_keys %d\n", keys)
+	fmt.Fprintf(w, "# TYPE harl_trials_measured_total counter\nharl_trials_measured_total %d\n", m.TrialsMeasured)
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"harl"
+)
+
+// HarlTuner is the production Tuner: it drives the harl public API with a
+// shared best-schedule registry in front (resolve-first inside
+// TuneOperatorContext / TuneNetworkContext, publish-after on completion), so
+// finished jobs make every later identical request a cache hit.
+type HarlTuner struct {
+	// Registry, when non-nil, is shared across all sessions (and with the
+	// HTTP layer's lookup endpoints).
+	Registry *harl.Registry
+}
+
+// resolveRequest validates a normalized request against the workload,
+// target and scheduler registries and returns its parsed parts.
+func resolveRequest(req Request) (w harl.Workload, tgt harl.Target, isNet bool, err error) {
+	tgt, err = harl.TargetByName(req.Target)
+	if err != nil {
+		return w, tgt, false, err
+	}
+	if _, err := harl.SchedulerByName(req.Scheduler); err != nil {
+		return w, tgt, false, err
+	}
+	if req.Trials < 0 {
+		// Negative trials is the library's pure-cache-replay mode, which
+		// needs a resume log the service does not expose; such a job would
+		// only ever fail, so reject it at validation time.
+		return w, tgt, false, fmt.Errorf("service: trials must be >= 0, got %d", req.Trials)
+	}
+	if req.Network != "" {
+		if req.Op != "" || req.Shape != "" {
+			return w, tgt, false, fmt.Errorf("service: request must set either op+shape or network, not both")
+		}
+		if _, err := harl.NetworkWorkloads(req.Network, req.Batch); err != nil {
+			return w, tgt, true, err
+		}
+		return w, tgt, true, nil
+	}
+	if req.Op == "" {
+		return w, tgt, false, fmt.Errorf("service: request needs op+shape or network")
+	}
+	dims, err := harl.ParseShape(req.Shape)
+	if err != nil {
+		return w, tgt, false, err
+	}
+	w, err = harl.OperatorWorkload(req.Op, dims, req.Batch)
+	return w, tgt, false, err
+}
+
+// Key implements Tuner: the coalescing identity is the workload fingerprint
+// (structural, so differently-spelled but identical shapes unify) plus
+// target, scheduler and the run parameters that change the result.
+func (h *HarlTuner) Key(req Request) (string, error) {
+	w, tgt, isNet, err := resolveRequest(req)
+	if err != nil {
+		return "", err
+	}
+	var workload string
+	if isNet {
+		workload = fmt.Sprintf("network:%s@b%d", strings.ToLower(req.Network), req.Batch)
+	} else {
+		workload = w.Fingerprint()
+	}
+	return fmt.Sprintf("%s|%s|%s|t%d|s%d|w%d", workload, tgt.Name(), req.Scheduler, req.Trials, req.Seed, req.Workers), nil
+}
+
+// Tune implements Tuner by running the cancellable harl session.
+func (h *HarlTuner) Tune(ctx context.Context, req Request) (Outcome, error) {
+	w, tgt, isNet, err := resolveRequest(req)
+	if err != nil {
+		return Outcome{}, err
+	}
+	opts := harl.Options{
+		Scheduler: req.Scheduler,
+		Trials:    req.Trials,
+		Seed:      req.Seed,
+		Workers:   req.Workers,
+		Registry:  h.Registry,
+	}
+	if isNet {
+		res, err := harl.TuneNetworkContext(ctx, req.Network, req.Batch, tgt, opts)
+		if err != nil {
+			return Outcome{}, err
+		}
+		exec := res.MeasuredSeconds
+		if math.IsInf(exec, 0) || math.IsNaN(exec) {
+			// A session cancelled before every subgraph measured has no
+			// end-to-end estimate; +Inf is not JSON-encodable and would make
+			// the whole job listing unserializable.
+			exec = 0
+		}
+		return Outcome{
+			Workload:      res.Network,
+			Target:        tgt.Name(),
+			Scheduler:     req.Scheduler,
+			ExecSeconds:   exec,
+			Trials:        res.Trials,
+			SearchSeconds: res.SearchSeconds,
+			CacheHit:      res.Trials == 0 && res.CacheHits == len(res.Breakdown),
+			Cancelled:     res.Cancelled,
+		}, nil
+	}
+	res, err := harl.TuneOperatorContext(ctx, w, tgt, opts)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Workload:      w.Name(),
+		Target:        tgt.Name(),
+		Scheduler:     req.Scheduler,
+		ExecSeconds:   res.ExecSeconds,
+		GFLOPS:        res.GFLOPS,
+		Trials:        res.Trials,
+		SearchSeconds: res.SearchSeconds,
+		BestSchedule:  res.BestSchedule,
+		CacheHit:      res.CacheHit,
+		Cancelled:     res.Cancelled,
+	}, nil
+}

@@ -21,11 +21,33 @@ type Journal struct {
 	n   int       // records appended
 }
 
-// OpenJournal opens (creating if needed) a journal file for appending.
+// OpenJournal opens (creating if needed) a journal file for appending. The
+// file carries a non-blocking exclusive advisory lock (flock, where the
+// platform supports it) for the journal's lifetime, so two processes cannot
+// interleave appends into one log: the second open fails fast instead. The
+// lock is released by Close or by process exit — a killed run never leaves a
+// stale lock behind.
 func OpenJournal(path string) (*Journal, error) {
+	return openJournal(path, lockFile)
+}
+
+// OpenJournalWait is OpenJournal with a blocking advisory lock: instead of
+// failing fast when another process holds the journal, the caller queues
+// behind it. Use it for short append-and-close critical sections (the
+// registry's publish path); long-lived tuning logs keep the fail-fast
+// OpenJournal so a forgotten second run is an error, not a silent stall.
+func OpenJournalWait(path string) (*Journal, error) {
+	return openJournal(path, lockFileWait)
+}
+
+func openJournal(path string, lock func(*os.File) error) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("tunelog: open journal: %w", err)
+	}
+	if err := lock(f); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return &Journal{w: f, c: f}, nil
 }

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package tunelog
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable: appends still go through
+// the in-process mutex, but cross-process exclusion is advisory-only on
+// platforms that support it.
+func lockFile(*os.File) error { return nil }
+
+// lockFileWait is likewise a no-op without flock support.
+func lockFileWait(*os.File) error { return nil }

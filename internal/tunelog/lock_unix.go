@@ -1,0 +1,33 @@
+//go:build unix
+
+package tunelog
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock (flock) on the open
+// journal file, so two processes appending to the same journal fail fast
+// instead of interleaving records. The lock lives with the file description:
+// closing the file (or the process dying) releases it.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return fmt.Errorf("tunelog: journal %s is locked by another process", f.Name())
+		}
+		return fmt.Errorf("tunelog: lock journal %s: %w", f.Name(), err)
+	}
+	return nil
+}
+
+// lockFileWait is lockFile but blocking: the caller queues behind the
+// current holder instead of failing — the right semantics for short critical
+// sections like a registry publish.
+func lockFileWait(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("tunelog: lock journal %s: %w", f.Name(), err)
+	}
+	return nil
+}

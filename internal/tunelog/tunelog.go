@@ -57,6 +57,13 @@ type Record struct {
 	Trial int `json:"trial"`
 	// Seed is the run's root random seed.
 	Seed uint64 `json:"seed"`
+	// Force marks a registry heal record: when a key's stored best turns out
+	// to be poisoned (a foreign record that resolves but no longer
+	// reconstructs, possibly with an unbeatably low time), the repairing
+	// publish sets Force so the replacement wins unconditionally — and keeps
+	// winning across index rebuilds, because the journal replays in order.
+	// Tuning journals never set it.
+	Force bool `json:"force,omitempty"`
 }
 
 // NewRecord builds a record for one committed measurement.
@@ -86,7 +93,7 @@ func (r Record) Key() string { return r.Workload + "\x00" + r.Target }
 // identity is the full-record deduplication key: two appends of the same
 // measurement collapse to one database entry.
 func (r Record) identity() string {
-	return fmt.Sprintf("%d|%s|%s|%s|%s|%x|%d|%d", r.V, r.Workload, r.Target, r.Scheduler, r.Steps, r.ExecSec, r.Trial, r.Seed)
+	return fmt.Sprintf("%d|%s|%s|%s|%s|%x|%d|%d|%v", r.V, r.Workload, r.Target, r.Scheduler, r.Steps, r.ExecSec, r.Trial, r.Seed, r.Force)
 }
 
 // MarshalLine renders the record as one JSONL line (no trailing newline).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -260,4 +261,27 @@ func TestJournalFilePersistsAcrossProcessesShape(t *testing.T) {
 	if n := bytes.Count(data, []byte("\n")); n != 3 {
 		t.Fatalf("%d lines for 3 records", n)
 	}
+}
+
+func TestJournalAdvisoryLockExcludesSecondWriter(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("advisory flock is unix-only")
+	}
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	jr, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("second concurrent OpenJournal on one file must fail (advisory lock)")
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The lock dies with the file: a fresh session opens cleanly.
+	jr2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	jr2.Close()
 }
