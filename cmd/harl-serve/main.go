@@ -14,13 +14,21 @@
 //	                     identical concurrent requests coalesce into one job)
 //	GET    /v1/schedule  look up a best schedule without tuning
 //	GET    /v1/jobs[/{id}]   job listing / status
+//	GET    /v1/jobs/{id}/events  live progress as SSE (replay, then tail)
 //	DELETE /v1/jobs/{id} cancel a job (the session checkpoints)
 //	GET    /healthz      liveness
 //	GET    /metrics      queue depth, hit rate, trial counters
 //
+// By default the daemon applies a plateau early-stop policy to every job
+// (-plateau-window / -plateau-improve; requests override per job with
+// plateau_window, negative to opt out): a search whose best-so-far
+// trajectory flatlines stops early and publishes its partial best instead
+// of burning the rest of its trial budget.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: intake stops, running
-// sessions are cancelled (each checkpoints and publishes nothing partial)
-// and the registry's journal handle is released.
+// sessions are cancelled (each checkpoints and publishes its partial best —
+// publishing keeps better incumbents, so partials never weaken a key) and
+// the registry's journal handle is released.
 package main
 
 import (
@@ -43,10 +51,26 @@ func main() {
 	registryDir := flag.String("registry", "registry", "best-schedule registry directory (created if missing)")
 	importLog := flag.String("import", "", "seed the registry from this tuning-record journal before serving")
 	workers := flag.Int("workers", 2, "queue workers draining tuning jobs concurrently")
+	plateauWindow := flag.Int("plateau-window", 6, "default plateau early stop: end a job's search when its best-so-far trajectory improves by no more than -plateau-improve across this many progress events (0 disables; requests override with plateau_window)")
+	plateauImprove := flag.Float64("plateau-improve", 0.005, "default minimum relative improvement (0.005 = 0.5%) over the plateau window to keep searching")
 	flag.Parse()
 
 	if *workers < 1 {
 		fatal(fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	}
+	if *plateauWindow < 0 || *plateauImprove < 0 {
+		fatal(fmt.Errorf("-plateau-window and -plateau-improve must be >= 0"))
+	}
+	if *plateauWindow == 0 {
+		// -plateau-window 0 disables the default policy outright; reject an
+		// explicitly-set positive threshold that would be silently dropped
+		// with it (the flag's own default does not count — disabling stays
+		// one flag — and an explicit 0 expresses no policy to drop).
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "plateau-improve" && *plateauImprove > 0 {
+				fatal(fmt.Errorf("-plateau-improve needs -plateau-window > 0 to take effect"))
+			}
+		})
 	}
 	reg, err := harl.OpenRegistry(*registryDir)
 	if err != nil {
@@ -60,7 +84,10 @@ func main() {
 		fmt.Printf("harl-serve: imported %s (%d improvements, %d keys)\n", *importLog, improved, reg.Len())
 	}
 
-	queue := service.NewQueue(&service.HarlTuner{Registry: reg}, *workers)
+	queue := service.NewQueue(&service.HarlTuner{
+		Registry:       reg,
+		DefaultPlateau: harl.Plateau{Window: *plateauWindow, MinImprovement: *plateauImprove},
+	}, *workers)
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(queue, reg)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

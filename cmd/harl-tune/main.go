@@ -21,6 +21,13 @@
 // measured trials, and a fresh tune publishes its best for the next caller:
 //
 //	harl-tune -op gemm -shape 256,256,256 -registry ./registry
+//
+// -progress streams one line per committed round/wave to stderr (the same
+// event stream harl-serve exposes over SSE), and -plateau-window with
+// -plateau-improve stop a flatlined search early through the
+// checkpoint-on-cancel path:
+//
+//	harl-tune -op gemm -shape 64,64,64 -progress -plateau-window 8 -plateau-improve 0.005
 package main
 
 import (
@@ -48,6 +55,9 @@ func main() {
 	modelIn := flag.String("model-in", "", "load a cost-model checkpoint (from -model-out or harl-train) before search")
 	modelOut := flag.String("model-out", "", "save the trained cost-model checkpoint after tuning")
 	registryDir := flag.String("registry", "", "best-schedule registry directory shared with harl-serve: resolve before tuning (a hit costs 0 trials) and publish the best after")
+	progress := flag.Bool("progress", false, "stream one progress line per committed round/wave to stderr — the same event stream harl-serve serves over SSE")
+	plateauWindow := flag.Int("plateau-window", 0, "stop the search early when the best-so-far trajectory improves by no more than -plateau-improve across this many progress events (0 disables)")
+	plateauImprove := flag.Float64("plateau-improve", 0, "minimum relative improvement (0.01 = 1%) over the plateau window to keep searching")
 	flag.Parse()
 
 	// Validate every name-typed flag up front, so a typo exits non-zero with
@@ -59,9 +69,23 @@ func main() {
 	if _, err := harl.SchedulerByName(*scheduler); err != nil {
 		fatal(err)
 	}
+	if *plateauWindow < 0 || *plateauImprove < 0 {
+		fatal(fmt.Errorf("-plateau-window and -plateau-improve must be >= 0"))
+	}
+	if *plateauImprove > 0 && *plateauWindow == 0 {
+		fatal(fmt.Errorf("-plateau-improve needs -plateau-window > 0 to take effect"))
+	}
 	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed, Workers: *workers,
 		RecordLog: *logPath, ResumeFrom: *resume,
-		PretrainFrom: *pretrainLog, ModelIn: *modelIn, ModelOut: *modelOut}
+		PretrainFrom: *pretrainLog, ModelIn: *modelIn, ModelOut: *modelOut,
+		Plateau: harl.Plateau{Window: *plateauWindow, MinImprovement: *plateauImprove}}
+	if *progress {
+		opts.OnProgress = func(e harl.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "progress wave=%d task=%s alloc=%d trials=%d/%d best=%.4fms run=%.4fms search=%.0fs\n",
+				e.Wave, e.Workload, e.Allocation, e.TaskTrials, e.TotalTrials,
+				e.BestExecSeconds*1e3, e.RunBestSeconds*1e3, e.SearchSeconds)
+		}
+	}
 	if *registryDir != "" {
 		reg, err := harl.OpenRegistry(*registryDir)
 		if err != nil {
@@ -83,6 +107,9 @@ func main() {
 		}
 		if res.Cancelled {
 			fmt.Println("run cancelled: partial bests shown; the record log and checkpoint are resumable")
+		}
+		if res.PlateauStopped {
+			fmt.Printf("stopped early on plateau after %d trials: no further improvement expected\n", res.Trials)
 		}
 		if res.WarmStarted > 0 {
 			fmt.Printf("warm-started %d subgraph(s) from %s\n", res.WarmStarted, *resume)
@@ -121,6 +148,9 @@ func main() {
 	}
 	if res.Cancelled {
 		fmt.Println("  run cancelled: partial best shown; the record log and checkpoint are resumable")
+	}
+	if res.PlateauStopped {
+		fmt.Printf("  stopped early on plateau after %d trials: no further improvement expected\n", res.Trials)
 	}
 	if res.WarmStarted {
 		fmt.Printf("  warm-started from %s\n", *resume)

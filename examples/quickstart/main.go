@@ -28,8 +28,17 @@ func main() {
 	fmt.Printf("simulated search time: %.0f s\n\n", res.SearchSeconds)
 
 	fmt.Println("convergence (best-so-far ms at every 10% of the budget):")
+	if len(res.BestLog) == 0 {
+		fmt.Println("  (no measured trials)")
+		return
+	}
 	for i := 1; i <= 10; i++ {
+		// With fewer than 10 trials the early milestones land before the
+		// first trial (index -1); clamp into the log's valid range.
 		idx := len(res.BestLog)*i/10 - 1
+		if idx < 0 {
+			idx = 0
+		}
 		fmt.Printf("  %3d%%: %.4f ms\n", i*10, res.BestLog[idx]*1e3)
 	}
 }

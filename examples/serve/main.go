@@ -9,7 +9,9 @@
 //  2. GET /v1/schedule for the seeded workload  → immediate cache hit
 //  3. POST /v1/tune for an unseen workload      → 202, a job runs the search
 //  4. POST the same request twice concurrently  → both coalesce into one job
-//  5. POST it again after completion            → 200 cache hit, zero trials
+//  5. POST it again after completion            → 200 cache hit: zero new
+//     measurements, with "trials" reporting the search that produced the
+//     cached schedule
 package main
 
 import (

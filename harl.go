@@ -234,11 +234,26 @@ type Options struct {
 	// Result.CacheHit set — and, because no session runs, produces no
 	// session artifacts: RecordLog gains no records and ModelOut is not
 	// written. A network run seeds every resolving subgraph and skips the
-	// search entirely when all of them hit. After an uncancelled run, the
-	// new bests are published back, so the next identical request is a hit.
-	// Open one with OpenRegistry; a single Registry may be shared by
-	// concurrent tuning sessions in one process (the harl-serve daemon does).
+	// search entirely when all of them hit. After the run, the bests found
+	// are published back — including the partial bests of a cancelled or
+	// plateau-stopped session (publishing keeps better incumbents, so a
+	// partial best can only improve a key, never weaken it) — and the next
+	// identical request is a hit. Open one with OpenRegistry; a single
+	// Registry may be shared by concurrent tuning sessions in one process
+	// (the harl-serve daemon does).
 	Registry *Registry
+	// OnProgress, when non-nil, receives one ProgressEvent per committed
+	// round/wave, synchronously on the tuning goroutine, in an order that is
+	// byte-identical for every worker-pool width (see ProgressEvent; as with
+	// results, Workers == 0 on a network run selects the legacy serial
+	// scheduler, whose deterministic stream is its own). The harl-serve
+	// daemon fans this stream out over SSE; harl-tune -progress renders it
+	// locally.
+	OnProgress func(ProgressEvent)
+	// Plateau, when its Window is > 0, stops the session early once the
+	// convergence trajectory flatlines (see Plateau): the session takes the
+	// checkpoint-on-cancel path and the result reports PlateauStopped.
+	Plateau Plateau
 }
 
 func (o Options) withDefaults() Options {
@@ -305,6 +320,12 @@ type Result struct {
 	// measurement and the model checkpoint (Options.ModelOut) was still
 	// written, so a cancelled session is fully resumable.
 	Cancelled bool
+	// PlateauStopped reports that Options.Plateau ended the search early
+	// because the convergence trajectory flatlined. The session went through
+	// the same checkpoint path as a cancellation — journal flushed, model
+	// saved, partial best published to Options.Registry — but the run is a
+	// completed search, not a cancelled one: Cancelled stays false.
+	PlateauStopped bool
 }
 
 // hooks resolves the Options journal fields into core tuning hooks plus a
@@ -545,7 +566,10 @@ func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (
 		closeJournal()
 		return Result{}, err
 	}
-	res := core.TuneOperatorSession(ctx, w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed, workers, hooks)
+	sessCtx, progressHook, plateaued, stopPlateau := o.progressSession(ctx, []string{w.Name()})
+	defer stopPlateau()
+	hooks.Progress = progressHook
+	res := core.TuneOperatorSession(sessCtx, w.sg, t.plat, sched, o.Trials, o.MeasureK, o.Seed, workers, hooks)
 	if err := closeJournal(); err != nil {
 		return Result{}, err
 	}
@@ -563,7 +587,10 @@ func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (
 			return Result{}, err
 		}
 	}
-	if o.Registry != nil && !res.Cancelled && res.Task.Best != nil {
+	// Publish whatever the session found, even a cancelled or plateau-stopped
+	// partial best: publishing keeps better incumbents, so a partial can only
+	// improve the key, and the next identical request is served from it.
+	if o.Registry != nil && res.Task.Best != nil {
 		rec := tunelog.NewRecord(w.sg, t.plat.Name, o.Scheduler, res.Task.Best, res.Task.BestExec, res.Task.Trials, o.Seed)
 		var err error
 		if brokenRecord {
@@ -575,6 +602,7 @@ func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (
 			return Result{}, fmt.Errorf("harl: publish to registry: %w", err)
 		}
 	}
+	plateau := plateaued(res.Cancelled)
 	out := Result{
 		Scheduler:        o.Scheduler,
 		ExecSeconds:      res.BestExec,
@@ -586,7 +614,8 @@ func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (
 		CostModelSamples: res.CostSamples,
 		CostModelRefits:  res.CostRefits,
 		Pretrained:       res.Pretrained,
-		Cancelled:        res.Cancelled,
+		Cancelled:        res.Cancelled && !plateau,
+		PlateauStopped:   plateau,
 	}
 	if res.Task.Best != nil {
 		out.BestSchedule = res.Task.Best.String()
@@ -630,6 +659,9 @@ type NetworkResult struct {
 	// Cancelled reports that the run's context was cancelled before the
 	// budget was spent; the breakdown reflects the partial bests.
 	Cancelled bool
+	// PlateauStopped reports that Options.Plateau ended the search early on
+	// a flatlined trajectory (see Result.PlateauStopped).
+	PlateauStopped bool
 }
 
 // networkByName resolves one of the paper's network names.
@@ -718,6 +750,12 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 		// collapses to a lookup — zero measured trials.
 		budget = 0
 	}
+	names := make([]string, len(net.Subgraphs))
+	for i, sg := range net.Subgraphs {
+		names[i] = sg.Name
+	}
+	sessCtx, progressHook, plateaued, stopPlateau := o.progressSession(ctx, names)
+	defer stopPlateau()
 	if o.Workers != 0 {
 		pnt, err := core.NewParallelNetworkTuner(net, t.plat, o.Scheduler, o.MeasureK, o.Seed, o.Workers)
 		if err != nil {
@@ -735,7 +773,8 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 		if hooks.Journal != nil {
 			pnt.AttachJournal(hooks.Journal, o.Seed)
 		}
-		cancelled := pnt.RunCtx(ctx, budget)
+		pnt.SetProgress(progressHook)
+		cancelled := pnt.RunCtx(sessCtx, budget)
 		if err := closeJournal(); err != nil {
 			return NetworkResult{}, err
 		}
@@ -747,11 +786,13 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 				return NetworkResult{}, err
 			}
 		}
-		if o.Registry != nil && !cancelled {
+		// Partial bests publish too (keep-better; see Options.Registry).
+		if o.Registry != nil {
 			if err := publishTasks(o.Registry, pnt.MT.Tasks, t.plat.Name, o.Scheduler, o.Seed, brokenKeys); err != nil {
 				return NetworkResult{}, err
 			}
 		}
+		plateau := plateaued(cancelled)
 		out := NetworkResult{
 			Network:          net.Name,
 			EstimatedSeconds: pnt.EstimatedExec(),
@@ -761,7 +802,8 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 			WarmStarted:      warmed,
 			Pretrained:       pretrained,
 			CacheHits:        cacheHits,
-			Cancelled:        cancelled,
+			Cancelled:        cancelled && !plateau,
+			PlateauStopped:   plateau,
 		}
 		out.CostModelSamples, out.CostModelRefits = costModelTotals(pnt.MT.Tasks)
 		for i, b := range pnt.Breakdown() {
@@ -792,7 +834,8 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 	if hooks.Journal != nil {
 		nt.AttachJournal(hooks.Journal, o.Seed)
 	}
-	cancelled := nt.RunCtx(ctx, budget)
+	nt.OnProgress = progressHook
+	cancelled := nt.RunCtx(sessCtx, budget)
 	if err := closeJournal(); err != nil {
 		return NetworkResult{}, err
 	}
@@ -804,11 +847,13 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 			return NetworkResult{}, err
 		}
 	}
-	if o.Registry != nil && !cancelled {
+	// Partial bests publish too (keep-better; see Options.Registry).
+	if o.Registry != nil {
 		if err := publishTasks(o.Registry, nt.Tasks, t.plat.Name, o.Scheduler, o.Seed, brokenKeys); err != nil {
 			return NetworkResult{}, err
 		}
 	}
+	plateau := plateaued(cancelled)
 	out := NetworkResult{
 		Network:          net.Name,
 		EstimatedSeconds: nt.EstimatedExec(),
@@ -818,7 +863,8 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 		WarmStarted:      warmed,
 		Pretrained:       pretrained,
 		CacheHits:        cacheHits,
-		Cancelled:        cancelled,
+		Cancelled:        cancelled && !plateau,
+		PlateauStopped:   plateau,
 	}
 	out.CostModelSamples, out.CostModelRefits = costModelTotals(nt.Tasks)
 	for i, b := range nt.Breakdown() {

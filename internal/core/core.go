@@ -158,6 +158,10 @@ type TuneHooks struct {
 	// seeds no schedules and skips no measurements, it just makes the reward
 	// signal and the top-K ranking informed from round one.
 	Pretrain *tunelog.Database
+	// Progress, when non-nil, receives one event per committed round (wave)
+	// at round/wave barriers, in commit order — worker-invariant like the
+	// journal. It runs synchronously on the tuning goroutine.
+	Progress func(search.Progress)
 }
 
 // seedCostModel applies the hooks' model-in and pretrain stages to one task
@@ -292,7 +296,7 @@ func TuneOperatorSession(ctx context.Context, sg *texpr.Subgraph, plat *hardware
 	if hooks.Journal != nil {
 		attachJournal(task, hooks.Journal, sched.Name, seed)
 	}
-	cancelled := search.TuneCtx(ctx, sched.Engine, task, budget, measureK)
+	cancelled := search.TuneSession(ctx, sched.Engine, task, budget, measureK, hooks.Progress)
 
 	res := &OperatorResult{
 		Scheduler:   sched.Name,

@@ -55,6 +55,11 @@ type NetworkTuner struct {
 	gHist       [][]float64 // per task: weighted best exec after each of its rounds
 	rrNext      int
 	History     []NetSnapshot
+
+	// OnProgress, when set, receives one search.Progress event per committed
+	// round of RunCtx, built from committed state after the round (and its
+	// dedup-fallback top-up, if any) lands. Set it before Run/RunCtx.
+	OnProgress func(search.Progress)
 }
 
 // NewNetworkTuner builds a tuner with a shared measurer across all subgraph
@@ -231,18 +236,32 @@ func (nt *NetworkTuner) Run(budgetTrials int) {
 // task. It returns true if the context cut the run short; an uncancelled run
 // takes exactly the same path as Run.
 func (nt *NetworkTuner) RunCtx(ctx context.Context, budgetTrials int) bool {
+	round := 0
 	for nt.Meas.Trials() < budgetTrials {
 		if ctx.Err() != nil {
 			return true
 		}
 		before := nt.Meas.Trials()
-		nt.Round()
+		a := nt.Round()
 		if nt.Meas.Trials() == before {
 			// The selected task's round was fully deduplicated; force random
 			// exploration on it so the budget always completes.
-			last := nt.History[len(nt.History)-1].TaskIdx
-			search.Tune(search.NewRandom(), nt.Tasks[last], nt.Tasks[last].Trials+nt.RoundTrials, nt.RoundTrials)
+			search.Tune(search.NewRandom(), nt.Tasks[a], nt.Tasks[a].Trials+nt.RoundTrials, nt.RoundTrials)
 		}
+		if nt.OnProgress != nil {
+			t := nt.Tasks[a]
+			nt.OnProgress(search.Progress{
+				Task:        a,
+				Wave:        round,
+				Allocation:  nt.allocations[a],
+				TaskTrials:  t.Trials,
+				TotalTrials: nt.Meas.Trials(),
+				BestExec:    t.BestExec,
+				RunBest:     nt.EstimatedExec(),
+				CostSec:     nt.Meas.CostSec(),
+			})
+		}
+		round++
 	}
 	return false
 }

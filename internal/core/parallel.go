@@ -68,6 +68,14 @@ func (p *ParallelNetworkTuner) AttachJournal(jr *tunelog.Journal, seed uint64) {
 	})
 }
 
+// SetProgress routes per-task progress events out of the MultiTuner's wave
+// barriers — emitted in wave-selection order from committed state, so the
+// event stream is byte-identical for every worker count (the journal's
+// contract). Call before Run/RunCtx.
+func (p *ParallelNetworkTuner) SetProgress(fn func(search.Progress)) {
+	p.MT.OnProgress = fn
+}
+
 // WarmStart seeds every task from its best cached record and returns the
 // number of tasks seeded.
 func (p *ParallelNetworkTuner) WarmStart(db *tunelog.Database) int {

@@ -83,6 +83,13 @@ type MultiTuner struct {
 
 	record  func(TrialRecord)
 	pending [][]TrialRecord // per task: records buffered until the wave barrier
+
+	// OnProgress, when set, receives one Progress event per task advanced in
+	// each wave, emitted at the wave barrier in wave-selection order from
+	// committed state only — the same deterministic fan-in point the recorder
+	// uses, so the event sequence is byte-identical for every worker count.
+	// Set it before Run.
+	OnProgress func(Progress)
 }
 
 // TrialRecord is one committed measurement of a multi-task run, tagged with
@@ -345,6 +352,23 @@ func (mt *MultiTuner) wave(width, remaining int) []int {
 		Trials:  mt.Trials(),
 		CostSec: mt.CostSec(),
 	})
+	if mt.OnProgress != nil {
+		snap := mt.History[len(mt.History)-1]
+		est := mt.EstimatedExec()
+		for _, a := range sel {
+			t := mt.Tasks[a]
+			mt.OnProgress(Progress{
+				Task:        a,
+				Wave:        snap.Wave,
+				Allocation:  mt.allocations[a],
+				TaskTrials:  t.Trials,
+				TotalTrials: snap.Trials,
+				BestExec:    t.BestExec,
+				RunBest:     est,
+				CostSec:     snap.CostSec,
+			})
+		}
+	}
 	return sel
 }
 

@@ -1,0 +1,70 @@
+package search
+
+import "context"
+
+// Progress is one committed progress point of a tuning run, emitted at the
+// barriers where state is worker-invariant: after each round of the serial
+// operator loop (TuneSession), after each round of the serial network tuner,
+// and at each wave barrier of the concurrent MultiTuner (one event per task
+// advanced that wave, in wave-selection order). Every field is read from
+// committed state only, so for a fixed seed and configuration the event
+// sequence is byte-identical for every worker count — the same contract the
+// tuning journal keeps.
+type Progress struct {
+	// Task is the index of the task the event describes (0 for operator runs).
+	Task int
+	// Wave is the 0-based wave (concurrent tuner) or round (serial loops)
+	// index at whose barrier the event was committed.
+	Wave int
+	// Allocation is how many engine rounds the task has received so far.
+	Allocation int
+	// TaskTrials is the task-local cumulative measurement count and
+	// TotalTrials the run-wide one (equal for operator runs).
+	TaskTrials  int
+	TotalTrials int
+	// BestExec is the task's best measured execution time so far (+Inf until
+	// the task measures its first schedule).
+	BestExec float64
+	// RunBest is the run-level objective the driver optimizes: the best
+	// execution time for an operator run, Σ w·g (the estimated end-to-end
+	// network time) for a network run (+Inf until every task has measured).
+	// Plateau detection reads this trajectory.
+	RunBest float64
+	// CostSec is the cumulative simulated search time at the barrier.
+	CostSec float64
+}
+
+// TuneSession is TuneCtx with a progress callback: after every committed
+// round, onProgress (when non-nil) receives one Progress event built from the
+// task's committed state. The callback runs synchronously on the tuning
+// goroutine, so anything it observes is consistent and anything it does (such
+// as cancelling ctx) takes effect at the next round boundary.
+func TuneSession(ctx context.Context, e Engine, t *Task, budgetTrials, measureK int, onProgress func(Progress)) bool {
+	round := 0
+	for t.Trials < budgetTrials {
+		if ctx.Err() != nil {
+			return true
+		}
+		k := measureK
+		if remaining := budgetTrials - t.Trials; k > remaining {
+			k = remaining
+		}
+		if e.RunRound(t, k) == 0 {
+			t.ExploreRandom(k)
+		}
+		if onProgress != nil {
+			onProgress(Progress{
+				Task:        0,
+				Wave:        round,
+				Allocation:  round + 1,
+				TaskTrials:  t.Trials,
+				TotalTrials: t.Trials,
+				BestExec:    t.BestExec,
+				RunBest:     t.BestExec,
+				CostSec:     t.Meas.CostSec(),
+			})
+		}
+		round++
+	}
+	return false
+}

@@ -334,17 +334,5 @@ func Tune(e Engine, t *Task, budgetTrials, measureK int) {
 // the context. An uncancelled run takes exactly the same path as Tune, so
 // the determinism contract is untouched.
 func TuneCtx(ctx context.Context, e Engine, t *Task, budgetTrials, measureK int) bool {
-	for t.Trials < budgetTrials {
-		if ctx.Err() != nil {
-			return true
-		}
-		k := measureK
-		if remaining := budgetTrials - t.Trials; k > remaining {
-			k = remaining
-		}
-		if e.RunRound(t, k) == 0 {
-			t.ExploreRandom(k)
-		}
-	}
-	return false
+	return TuneSession(ctx, e, t, budgetTrials, measureK, nil)
 }

@@ -17,6 +17,9 @@ import (
 //	                     concurrent requests coalesce into one job)
 //	GET    /v1/schedule  look up the best known schedule without tuning
 //	GET    /v1/jobs      list jobs; GET /v1/jobs/{id} one job's state
+//	GET    /v1/jobs/{id}/events  live job progress as an SSE stream: the
+//	                     buffered events replay first, then new ones tail as
+//	                     the search commits them, ending with the finished job
 //	DELETE /v1/jobs/{id} cancel a queued or running job (the session
 //	                     checkpoints and keeps its partial best)
 //	GET    /healthz      liveness
@@ -35,6 +38,7 @@ func NewServer(q *Queue, reg *harl.Registry) *Server {
 	s.mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -97,12 +101,18 @@ type scheduleResponse struct {
 
 func hitResponse(hit harl.SavedSchedule) scheduleResponse {
 	return scheduleResponse{
-		CacheHit:     true,
-		Workload:     hit.Record.Workload,
-		Target:       hit.Record.Target,
-		Scheduler:    hit.Record.Scheduler,
-		ExecSeconds:  hit.ExecSeconds,
-		GFLOPS:       hit.GFLOPS,
+		CacheHit:    true,
+		Workload:    hit.Record.Workload,
+		Target:      hit.Record.Target,
+		Scheduler:   hit.Record.Scheduler,
+		ExecSeconds: hit.ExecSeconds,
+		GFLOPS:      hit.GFLOPS,
+		// Trials is the stored record's task-local trial index — the search
+		// depth at which the cached schedule was measured (for records
+		// published by finished sessions, the session's total trial count) —
+		// not what this request spent: a hit costs zero new measurements by
+		// definition.
+		Trials:       hit.Record.Trial,
 		BestSchedule: hit.Schedule,
 		Steps:        hit.Record.Steps,
 	}
@@ -127,6 +137,9 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, hitResponse(hit))
 		return
 	}
+	// Submit returns the job snapshot taken under the queue lock: a job that
+	// finishes and is retention-evicted right after submission still renders
+	// fully populated here (a follow-up Get could already miss it).
 	job, coalesced, err := s.queue.Submit(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -135,8 +148,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	if !coalesced {
 		s.queue.CountRegistryMiss()
 	}
-	snap, _ := s.queue.Get(job.ID)
-	writeJSON(w, http.StatusAccepted, map[string]any{"job": snap, "coalesced": coalesced})
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": job, "coalesced": coalesced})
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +204,71 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
+// handleJobEvents streams a job's progress as Server-Sent Events: every
+// buffered event replays first (late subscribers catch up), then live events
+// tail as the search commits them, and a final "done" event carries the
+// finished job. Each progress frame's id is the event's job-scoped sequence
+// number, so a reconnecting client resumes from Last-Event-ID instead of
+// re-reading the replay. The stream ends when the job reaches a terminal
+// state or the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	plog, ok := s.queue.Progress(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	after := 0
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if v, err := strconv.Atoi(lei); err == nil && v >= 0 {
+			after = v + 1
+		}
+	}
+	for {
+		evs, wait, closed := plog.after(after)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: progress\ndata: %s\n\n", e.Seq, data)
+			after = e.Seq + 1
+		}
+		fl.Flush()
+		if closed && len(evs) == 0 {
+			break
+		}
+		if closed {
+			continue // drain whatever was published before the close
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	// Terminal frame: the finished job. The snapshot can be gone if the job
+	// was retention-evicted while we streamed; the stream still terminates
+	// cleanly with an empty done event.
+	done := []byte("{}")
+	if job, ok := s.queue.Get(id); ok {
+		if data, err := json.Marshal(job); err == nil {
+			done = data
+		}
+	}
+	fmt.Fprintf(w, "event: done\ndata: %s\n\n", done)
+	fl.Flush()
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.queue.Cancel(id) {
@@ -233,6 +310,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE harl_jobs_done_total counter\nharl_jobs_done_total %d\n", m.Done)
 	fmt.Fprintf(w, "# TYPE harl_jobs_failed_total counter\nharl_jobs_failed_total %d\n", m.Failed)
 	fmt.Fprintf(w, "# TYPE harl_jobs_cancelled_total counter\nharl_jobs_cancelled_total %d\n", m.Cancelled)
+	fmt.Fprintf(w, "# TYPE harl_jobs_plateau_stopped_total counter\nharl_jobs_plateau_stopped_total %d\n", m.PlateauStopped)
 	fmt.Fprintf(w, "# TYPE harl_registry_hits_total counter\nharl_registry_hits_total %d\n", m.RegistryHits)
 	fmt.Fprintf(w, "# TYPE harl_registry_misses_total counter\nharl_registry_misses_total %d\n", m.RegistryMisses)
 	fmt.Fprintf(w, "# TYPE harl_registry_hit_rate gauge\nharl_registry_hit_rate %.4f\n", hitRate)

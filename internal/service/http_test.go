@@ -62,9 +62,19 @@ func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
 }
 
 // TestTuneEndpointCacheHit: a request covered by the committed journal is
-// answered 200 from the registry — no job, no search, zero trials.
+// answered 200 from the registry — no job, no search — and the trials field
+// reports how much search produced the cached schedule (the stored record's
+// trial index), not zero. Regression: hitResponse used to drop Record.Trial,
+// so every hit claimed the schedule came from 0 trials.
 func TestTuneEndpointCacheHit(t *testing.T) {
-	srv, q, ft, _ := serveTestEnv(t)
+	srv, q, ft, reg := serveTestEnv(t)
+	hit, ok, err := reg.Lookup(harl.GEMM(256, 256, 256, 1), harl.CPU(), "harl")
+	if err != nil || !ok {
+		t.Fatalf("registry lookup: ok=%v err=%v", ok, err)
+	}
+	if hit.Record.Trial == 0 {
+		t.Fatal("committed journal's best record has trial 0; the regression check needs a non-zero value")
+	}
 	resp, out := postJSON(t, srv.URL+"/v1/tune",
 		`{"op":"gemm","shape":"256,256,256","target":"cpu","scheduler":"harl"}`)
 	if resp.StatusCode != http.StatusOK {
@@ -73,8 +83,8 @@ func TestTuneEndpointCacheHit(t *testing.T) {
 	if out["cache_hit"] != true {
 		t.Fatalf("response %v lacks cache_hit", out)
 	}
-	if out["trials"] != float64(0) {
-		t.Fatalf("cache hit measured %v trials, want 0", out["trials"])
+	if got := out["trials"]; got != float64(hit.Record.Trial) {
+		t.Fatalf("cache hit reported trials=%v, want the record's %d", got, hit.Record.Trial)
 	}
 	if ft.Runs() != 0 {
 		t.Fatalf("tuner ran %d searches on a cache hit", ft.Runs())
@@ -135,6 +145,9 @@ func TestScheduleEndpointHitAndMiss(t *testing.T) {
 	}
 	if out["best_schedule"] == "" || out["exec_seconds"] == nil {
 		t.Fatalf("hit payload incomplete: %v", out)
+	}
+	if out["trials"] == float64(0) {
+		t.Fatalf("schedule hit reports trials=0; want the stored record's trial count (%v)", out)
 	}
 	resp, _ = getJSON(t, srv.URL+"/v1/schedule?op=gemm&shape=512,512,512&target=cpu")
 	if resp.StatusCode != http.StatusNotFound {
@@ -200,6 +213,8 @@ func TestBadRequests(t *testing.T) {
 		`{"op":"wavelet","shape":"64"}`,
 		`{}`,
 		`not json`,
+		`{"op":"gemm","shape":"64,64,64","plateau_min_improvement":-1}`,
+		`{"op":"gemm","shape":"64,64,64","plateau_min_improvement":0.05}`,
 	} {
 		resp, out := postJSON(t, srv.URL+"/v1/tune", body)
 		if resp.StatusCode != http.StatusBadRequest {

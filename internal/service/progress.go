@@ -1,0 +1,95 @@
+package service
+
+import (
+	"sync"
+
+	"harl"
+)
+
+// ProgressEvent is one live progress point of a running job: the library's
+// event plus the job-scoped sequence number the SSE stream uses as its event
+// id (and clients use to resume via Last-Event-ID).
+type ProgressEvent struct {
+	Seq int `json:"seq"`
+	harl.ProgressEvent
+}
+
+// progressRingCap bounds how many events a job retains for replay. A
+// subscriber that arrives (or lags) more than a full ring behind resumes
+// from the oldest retained event — convergence rendering degrades gracefully
+// instead of the daemon's memory growing with the trial budget.
+const progressRingCap = 1024
+
+// progressLog is one job's progress history: a bounded ring of committed
+// events plus a broadcast point for tailing subscribers. The publisher is
+// the single queue worker running the job's session, so sequence numbers are
+// gap-free in commit order; any number of SSE handlers read concurrently via
+// after, each replaying the retained prefix and then tailing live events.
+type progressLog struct {
+	mu      sync.Mutex
+	events  []ProgressEvent // retained suffix; events[0].Seq == start
+	start   int             // seq of events[0]
+	next    int             // next seq to assign
+	cap     int
+	closed  bool
+	updated chan struct{} // closed and replaced on every publish/close
+}
+
+func newProgressLog(capacity int) *progressLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &progressLog{cap: capacity, updated: make(chan struct{})}
+}
+
+// publish appends one event, assigning its sequence number. Events published
+// after close are dropped (the job already reported terminal state).
+func (l *progressLog) publish(e harl.ProgressEvent) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	ev := ProgressEvent{Seq: l.next, ProgressEvent: e}
+	l.next++
+	l.events = append(l.events, ev)
+	if len(l.events) > l.cap {
+		drop := len(l.events) - l.cap
+		l.events = append(l.events[:0], l.events[drop:]...)
+		l.start += drop
+	}
+	ch := l.updated
+	l.updated = make(chan struct{})
+	l.mu.Unlock()
+	close(ch)
+}
+
+// close marks the stream complete (the job reached a terminal state) and
+// wakes every tailing subscriber. Idempotent.
+func (l *progressLog) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	ch := l.updated
+	l.mu.Unlock()
+	close(ch)
+}
+
+// after returns a copy of the retained events with Seq >= seq, a channel that
+// is closed on the next publish or close (for tailing), and whether the
+// stream is complete. A seq older than the retained window resumes from the
+// oldest retained event.
+func (l *progressLog) after(seq int) (evs []ProgressEvent, wait <-chan struct{}, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.start {
+		seq = l.start
+	}
+	if i := seq - l.start; i < len(l.events) {
+		evs = append(evs, l.events[i:]...)
+	}
+	return evs, l.updated, l.closed
+}

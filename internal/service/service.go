@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"harl"
 )
 
 // JobState is the lifecycle of one tuning job.
@@ -43,6 +45,13 @@ type Request struct {
 	// Seed defaults to 1; Workers sizes the session's worker pool.
 	Seed    uint64 `json:"seed,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+	// PlateauWindow and PlateauMinImprovement configure the session's
+	// adaptive early stop (harl.Plateau): a positive window watches the
+	// convergence trajectory and ends the search once it flatlines. Zero
+	// selects the service's default policy; a negative window disables the
+	// default for this request.
+	PlateauWindow         int     `json:"plateau_window,omitempty"`
+	PlateauMinImprovement float64 `json:"plateau_min_improvement,omitempty"`
 }
 
 // normalize fills the defaulted fields so that requests equal in effect are
@@ -82,9 +91,12 @@ type Outcome struct {
 	SearchSeconds float64 `json:"search_seconds"`
 	BestSchedule  string  `json:"best_schedule,omitempty"`
 	// CacheHit reports the result came from the registry without measuring;
-	// Cancelled that the session was cut short (partial best).
-	CacheHit  bool `json:"cache_hit,omitempty"`
-	Cancelled bool `json:"cancelled,omitempty"`
+	// Cancelled that the session was cut short (partial best);
+	// PlateauStopped that the plateau policy ended the search early — the
+	// job still counts as done, with its (published) best.
+	CacheHit       bool `json:"cache_hit,omitempty"`
+	Cancelled      bool `json:"cancelled,omitempty"`
+	PlateauStopped bool `json:"plateau_stopped,omitempty"`
 }
 
 // Tuner executes one tuning request as a cancellable session. The production
@@ -96,8 +108,9 @@ type Tuner interface {
 	// unresolvable workload, target or scheduler is rejected here, before
 	// anything is enqueued.
 	Key(req Request) (string, error)
-	// Tune runs the session to completion or cancellation.
-	Tune(ctx context.Context, req Request) (Outcome, error)
+	// Tune runs the session to completion or cancellation. progress (never
+	// nil) receives one event per committed round/wave, in commit order.
+	Tune(ctx context.Context, req Request, progress func(harl.ProgressEvent)) (Outcome, error)
 }
 
 // Job is one queued/running/finished tuning request. Fields are snapshots
@@ -113,13 +126,14 @@ type Job struct {
 	// the first — the singleflight savings.
 	Coalesced int `json:"coalesced"`
 
-	done   chan struct{}
-	cancel context.CancelFunc
+	// done closes when the job leaves the queue. It is queue-internal:
+	// callers only ever hold value snapshots (Submit, Get), whose channel is
+	// nilled — observe completion by polling Get or by tailing the progress
+	// stream, whose done frame is the terminal transition.
+	done     chan struct{}
+	cancel   context.CancelFunc
+	progress *progressLog
 }
-
-// Done returns a channel closed when the job leaves the queue (done, failed
-// or cancelled).
-func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Metrics are the queue's monotonic counters plus current depths, rendered
 // by the /metrics endpoint.
@@ -129,6 +143,9 @@ type Metrics struct {
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	// PlateauStopped counts jobs whose search the plateau policy ended early
+	// (a subset of Done).
+	PlateauStopped int `json:"plateau_stopped"`
 	// RegistryHits / RegistryMisses count resolve-first outcomes across the
 	// HTTP surface and finished jobs.
 	RegistryHits   int `json:"registry_hits"`
@@ -162,6 +179,7 @@ type Queue struct {
 	closed   bool
 	running  int
 	terminal int // jobs in a finished state, for retention pruning
+	retain   int // finished-job retention bound (maxRetainedJobs; tests lower it)
 	m        Metrics
 
 	rootCtx    context.Context
@@ -169,17 +187,19 @@ type Queue struct {
 	wg         sync.WaitGroup
 }
 
-// finishLocked marks a job's terminal transition: its done channel closes
+// finishLocked marks a job's terminal transition: its done channel closes,
+// its progress stream completes (tailing SSE subscribers drain and finish)
 // and the retention bound is enforced. Caller holds the lock and has already
 // set the final state.
 func (q *Queue) finishLocked(j *Job) {
 	close(j.done)
+	j.progress.close()
 	q.terminal++
-	if q.terminal <= maxRetainedJobs {
+	if q.terminal <= q.retain {
 		return
 	}
 	kept := q.order[:0]
-	excess := q.terminal - maxRetainedJobs
+	excess := q.terminal - q.retain
 	for _, id := range q.order {
 		job := q.jobs[id]
 		if excess > 0 && (job.State == StateDone || job.State == StateFailed || job.State == StateCancelled) {
@@ -203,6 +223,7 @@ func NewQueue(tuner Tuner, workers int) *Queue {
 		tuner:      tuner,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
+		retain:     maxRetainedJobs,
 		rootCtx:    ctx,
 		rootCancel: cancel,
 	}
@@ -215,31 +236,35 @@ func NewQueue(tuner Tuner, workers int) *Queue {
 }
 
 // Submit enqueues a tuning request, or — when an identical request is
-// already queued or running — attaches to that job. It returns the job and
-// whether the request coalesced into an existing one.
-func (q *Queue) Submit(req Request) (*Job, bool, error) {
+// already queued or running — attaches to that job. It returns a snapshot of
+// the job taken under the same lock hold that created (or found) it — so the
+// caller always sees a populated job, even if it finishes and is
+// retention-evicted before the caller looks again — and whether the request
+// coalesced into an existing one.
+func (q *Queue) Submit(req Request) (Job, bool, error) {
 	req = req.normalize()
 	key, err := q.tuner.Key(req)
 	if err != nil {
-		return nil, false, err
+		return Job{}, false, err
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return nil, false, fmt.Errorf("service: queue is shut down")
+		return Job{}, false, fmt.Errorf("service: queue is shut down")
 	}
 	if j, ok := q.inflight[key]; ok {
 		j.Coalesced++
 		q.m.Coalesced++
-		return j, true, nil
+		return snapshot(j), true, nil
 	}
 	q.nextID++
 	j := &Job{
-		ID:      fmt.Sprintf("j%d", q.nextID),
-		Key:     key,
-		State:   StateQueued,
-		Request: req,
-		done:    make(chan struct{}),
+		ID:       fmt.Sprintf("j%d", q.nextID),
+		Key:      key,
+		State:    StateQueued,
+		Request:  req,
+		done:     make(chan struct{}),
+		progress: newProgressLog(progressRingCap),
 	}
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
@@ -247,7 +272,7 @@ func (q *Queue) Submit(req Request) (*Job, bool, error) {
 	q.pending = append(q.pending, j)
 	q.m.Submitted++
 	q.cond.Signal()
-	return j, false, nil
+	return snapshot(j), false, nil
 }
 
 // worker drains the pending list until shutdown.
@@ -270,7 +295,7 @@ func (q *Queue) worker() {
 		q.running++
 		q.mu.Unlock()
 
-		out, err := q.runSession(ctx, j.Request)
+		out, err := q.runSession(ctx, j)
 		cancel()
 
 		q.mu.Lock()
@@ -295,6 +320,9 @@ func (q *Queue) worker() {
 			j.Outcome = &out
 			q.m.Done++
 			q.m.TrialsMeasured += out.Trials
+			if out.PlateauStopped {
+				q.m.PlateauStopped++
+			}
 			if out.CacheHit {
 				// Rare but real: the registry filled in (another session
 				// published) between submission and execution. The miss was
@@ -310,14 +338,16 @@ func (q *Queue) worker() {
 // runSession executes one tuning session, converting a panic into a job
 // failure: one bad request must cost its own job, not a worker goroutine
 // (an unrecovered panic would wedge the job in "running" forever, block its
-// coalesced waiters, and pin its key in the inflight map).
-func (q *Queue) runSession(ctx context.Context, req Request) (out Outcome, err error) {
+// coalesced waiters, and pin its key in the inflight map). Progress events
+// the session commits land in the job's ring buffer, where SSE subscribers
+// replay and tail them.
+func (q *Queue) runSession(ctx context.Context, j *Job) (out Outcome, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("service: tuning session panicked: %v", p)
 		}
 	}()
-	return q.tuner.Tune(ctx, req)
+	return q.tuner.Tune(ctx, j.Request, j.progress.publish)
 }
 
 // Cancel cancels a job: a queued job is removed immediately, a running job's
@@ -388,7 +418,22 @@ func snapshot(j *Job) Job {
 	}
 	c.done = nil
 	c.cancel = nil
+	c.progress = nil
 	return c
+}
+
+// Progress returns the job's progress log — the replay-then-tail source the
+// SSE endpoint streams from — if the job is still retained. The log outlives
+// the job's terminal transition (subscribers holding it keep draining after
+// retention eviction), but a new subscriber needs the job to still exist.
+func (q *Queue) Progress(id string) (*progressLog, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.progress, true
 }
 
 // CountRegistryHit and CountRegistryMiss fold resolve-first outcomes that

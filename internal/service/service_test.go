@@ -6,15 +6,23 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"harl"
 )
 
 // fakeTuner is a controllable Tuner: it blocks each Tune call until released
 // (or the context is cancelled) and counts how many searches actually ran.
+// preEvents are published into the job's progress stream before the tuner
+// blocks, postEvents after it is released — the replay and tail halves the
+// SSE tests exercise.
 type fakeTuner struct {
-	mu      sync.Mutex
-	runs    int
-	started chan string   // receives the key each time a Tune begins
-	release chan struct{} // each receive lets one Tune finish
+	mu         sync.Mutex
+	runs       int
+	started    chan string   // receives the key each time a Tune begins
+	release    chan struct{} // each receive lets one Tune finish
+	preEvents  []harl.ProgressEvent
+	postEvents []harl.ProgressEvent
+	outcome    *Outcome // optional override of the success outcome
 }
 
 func newFakeTuner() *fakeTuner {
@@ -28,13 +36,26 @@ func (f *fakeTuner) Key(req Request) (string, error) {
 	return fmt.Sprintf("%s|%s|%s|%s|t%d|s%d", req.Op, req.Shape, req.Network, req.Target, req.Trials, req.Seed), nil
 }
 
-func (f *fakeTuner) Tune(ctx context.Context, req Request) (Outcome, error) {
+func (f *fakeTuner) Tune(ctx context.Context, req Request, progress func(harl.ProgressEvent)) (Outcome, error) {
 	f.mu.Lock()
 	f.runs++
+	pre, post, oc := f.preEvents, f.postEvents, f.outcome
 	f.mu.Unlock()
+	for _, e := range pre {
+		progress(e)
+	}
 	f.started <- req.Op + req.Network
 	select {
 	case <-f.release:
+		for _, e := range post {
+			progress(e)
+		}
+		if oc != nil {
+			o := *oc
+			o.Workload = req.Op + req.Network
+			o.Target = req.Target
+			return o, nil
+		}
 		return Outcome{Workload: req.Op + req.Network, Target: req.Target, Trials: 16}, nil
 	case <-ctx.Done():
 		return Outcome{Workload: req.Op + req.Network, Target: req.Target, Trials: 3, Cancelled: true}, nil
@@ -70,7 +91,7 @@ func TestCoalescingSingleflight(t *testing.T) {
 
 	req := Request{Op: "gemm", Shape: "64,64,64", Target: "cpu"}
 	const n = 16
-	jobs := make([]*Job, n)
+	jobs := make([]Job, n)
 	coalesced := 0
 	var mu sync.Mutex
 	var wg sync.WaitGroup

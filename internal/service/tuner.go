@@ -17,6 +17,27 @@ type HarlTuner struct {
 	// Registry, when non-nil, is shared across all sessions (and with the
 	// HTTP layer's lookup endpoints).
 	Registry *harl.Registry
+	// DefaultPlateau is the service-wide early-stop policy applied to
+	// requests that leave plateau_window at 0 — the daemon's defense against
+	// burning full trial budgets on searches that flatlined early. The zero
+	// value disables it; a request can opt out of a configured default with
+	// plateau_window < 0, or override it with its own positive window.
+	DefaultPlateau harl.Plateau
+}
+
+// plateau resolves a normalized request's effective early-stop policy
+// against the service default. It is part of the coalescing identity: two
+// requests with different effective policies can produce different results
+// and must not share a search.
+func (h *HarlTuner) plateau(req Request) harl.Plateau {
+	switch {
+	case req.PlateauWindow > 0:
+		return harl.Plateau{Window: req.PlateauWindow, MinImprovement: req.PlateauMinImprovement}
+	case req.PlateauWindow < 0:
+		return harl.Plateau{}
+	default:
+		return h.DefaultPlateau
+	}
 }
 
 // resolveRequest validates a normalized request against the workload,
@@ -34,6 +55,15 @@ func resolveRequest(req Request) (w harl.Workload, tgt harl.Target, isNet bool, 
 		// needs a resume log the service does not expose; such a job would
 		// only ever fail, so reject it at validation time.
 		return w, tgt, false, fmt.Errorf("service: trials must be >= 0, got %d", req.Trials)
+	}
+	if req.PlateauMinImprovement < 0 {
+		return w, tgt, false, fmt.Errorf("service: plateau_min_improvement must be >= 0, got %g", req.PlateauMinImprovement)
+	}
+	if req.PlateauMinImprovement > 0 && req.PlateauWindow <= 0 {
+		// Without a positive window the threshold would be silently dropped
+		// (window 0 selects the service default policy wholesale, negative
+		// opts out); reject instead of ignoring what the client asked for.
+		return w, tgt, false, fmt.Errorf("service: plateau_min_improvement needs plateau_window > 0, got window %d", req.PlateauWindow)
 	}
 	if req.Network != "" {
 		if req.Op != "" || req.Shape != "" {
@@ -69,21 +99,26 @@ func (h *HarlTuner) Key(req Request) (string, error) {
 	} else {
 		workload = w.Fingerprint()
 	}
-	return fmt.Sprintf("%s|%s|%s|t%d|s%d|w%d", workload, tgt.Name(), req.Scheduler, req.Trials, req.Seed, req.Workers), nil
+	p := h.plateau(req)
+	return fmt.Sprintf("%s|%s|%s|t%d|s%d|w%d|pw%d|pi%g", workload, tgt.Name(), req.Scheduler,
+		req.Trials, req.Seed, req.Workers, p.Window, p.MinImprovement), nil
 }
 
-// Tune implements Tuner by running the cancellable harl session.
-func (h *HarlTuner) Tune(ctx context.Context, req Request) (Outcome, error) {
+// Tune implements Tuner by running the cancellable harl session, forwarding
+// every committed progress event to the job's stream.
+func (h *HarlTuner) Tune(ctx context.Context, req Request, progress func(harl.ProgressEvent)) (Outcome, error) {
 	w, tgt, isNet, err := resolveRequest(req)
 	if err != nil {
 		return Outcome{}, err
 	}
 	opts := harl.Options{
-		Scheduler: req.Scheduler,
-		Trials:    req.Trials,
-		Seed:      req.Seed,
-		Workers:   req.Workers,
-		Registry:  h.Registry,
+		Scheduler:  req.Scheduler,
+		Trials:     req.Trials,
+		Seed:       req.Seed,
+		Workers:    req.Workers,
+		Registry:   h.Registry,
+		OnProgress: progress,
+		Plateau:    h.plateau(req),
 	}
 	if isNet {
 		res, err := harl.TuneNetworkContext(ctx, req.Network, req.Batch, tgt, opts)
@@ -98,14 +133,15 @@ func (h *HarlTuner) Tune(ctx context.Context, req Request) (Outcome, error) {
 			exec = 0
 		}
 		return Outcome{
-			Workload:      res.Network,
-			Target:        tgt.Name(),
-			Scheduler:     req.Scheduler,
-			ExecSeconds:   exec,
-			Trials:        res.Trials,
-			SearchSeconds: res.SearchSeconds,
-			CacheHit:      res.Trials == 0 && res.CacheHits == len(res.Breakdown),
-			Cancelled:     res.Cancelled,
+			Workload:       res.Network,
+			Target:         tgt.Name(),
+			Scheduler:      req.Scheduler,
+			ExecSeconds:    exec,
+			Trials:         res.Trials,
+			SearchSeconds:  res.SearchSeconds,
+			CacheHit:       res.Trials == 0 && res.CacheHits == len(res.Breakdown),
+			Cancelled:      res.Cancelled,
+			PlateauStopped: res.PlateauStopped,
 		}, nil
 	}
 	res, err := harl.TuneOperatorContext(ctx, w, tgt, opts)
@@ -113,15 +149,16 @@ func (h *HarlTuner) Tune(ctx context.Context, req Request) (Outcome, error) {
 		return Outcome{}, err
 	}
 	return Outcome{
-		Workload:      w.Name(),
-		Target:        tgt.Name(),
-		Scheduler:     req.Scheduler,
-		ExecSeconds:   res.ExecSeconds,
-		GFLOPS:        res.GFLOPS,
-		Trials:        res.Trials,
-		SearchSeconds: res.SearchSeconds,
-		BestSchedule:  res.BestSchedule,
-		CacheHit:      res.CacheHit,
-		Cancelled:     res.Cancelled,
+		Workload:       w.Name(),
+		Target:         tgt.Name(),
+		Scheduler:      req.Scheduler,
+		ExecSeconds:    res.ExecSeconds,
+		GFLOPS:         res.GFLOPS,
+		Trials:         res.Trials,
+		SearchSeconds:  res.SearchSeconds,
+		BestSchedule:   res.BestSchedule,
+		CacheHit:       res.CacheHit,
+		Cancelled:      res.Cancelled,
+		PlateauStopped: res.PlateauStopped,
 	}, nil
 }
