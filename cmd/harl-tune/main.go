@@ -55,6 +55,7 @@ func main() {
 	modelIn := flag.String("model-in", "", "load a cost-model checkpoint (from -model-out or harl-train) before search")
 	modelOut := flag.String("model-out", "", "save the trained cost-model checkpoint after tuning")
 	registryDir := flag.String("registry", "", "best-schedule registry directory shared with harl-serve: resolve before tuning (a hit costs 0 trials) and publish the best after")
+	registryLayout := flag.String("registry-layout", "auto", "registry storage layout: auto (detect), single (one journal) or sharded (256 fingerprint-sharded journals; migrates a single-file registry in place)")
 	progress := flag.Bool("progress", false, "stream one progress line per committed round/wave to stderr — the same event stream harl-serve serves over SSE")
 	plateauWindow := flag.Int("plateau-window", 0, "stop the search early when the best-so-far trajectory improves by no more than -plateau-improve across this many progress events (0 disables)")
 	plateauImprove := flag.Float64("plateau-improve", 0, "minimum relative improvement (0.01 = 1%) over the plateau window to keep searching")
@@ -87,12 +88,14 @@ func main() {
 		}
 	}
 	if *registryDir != "" {
-		reg, err := harl.OpenRegistry(*registryDir)
+		reg, err := harl.OpenRegistryOptions(*registryDir, harl.RegistryOptions{Layout: *registryLayout})
 		if err != nil {
 			fatal(err)
 		}
 		defer reg.Close()
 		opts.Registry = reg
+	} else if *registryLayout != "auto" {
+		fatal(fmt.Errorf("-registry-layout needs -registry"))
 	}
 
 	if *network != "" {

@@ -20,6 +20,7 @@ package harl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"slices"
@@ -412,25 +413,83 @@ type Registry struct {
 }
 
 // OpenRegistry opens (creating if needed) a best-schedule registry rooted at
-// dir. Opening never writes, so read-only consumers can open a registry
-// another process is publishing into.
+// dir, auto-detecting its storage layout. Opening never writes journal state,
+// so read-only consumers can open a registry another process is publishing
+// into.
 func OpenRegistry(dir string) (*Registry, error) {
-	r, err := registry.Open(dir)
+	return OpenRegistryOptions(dir, RegistryOptions{})
+}
+
+// RegistryOptions select a registry's storage layout and tuning knobs. The
+// zero value auto-detects the layout (an existing sharded registry opens
+// sharded, anything else single-file) with default batching and caching.
+type RegistryOptions struct {
+	// Layout is "", "auto", "single" or "sharded". Opening an existing
+	// single-file registry with "sharded" migrates it in place (the v1
+	// journal is kept beside the shards as journal.v1.jsonl).
+	Layout string
+	// ShardCache bounds how many shard indexes stay resident in memory
+	// (sharded layout; 0 selects the default).
+	ShardCache int
+	// BatchSize and BatchWait shape the publish batcher: a flush happens at
+	// BatchSize pending records or BatchWait after the first, whichever is
+	// first (0 selects the defaults).
+	BatchSize int
+	BatchWait time.Duration
+}
+
+// ParseRegistryLayout maps a layout flag value to the internal layout,
+// rejecting unknown names — shared by OpenRegistryOptions and the CLIs.
+func ParseRegistryLayout(s string) (registry.Layout, error) {
+	switch s {
+	case "", "auto":
+		return registry.LayoutAuto, nil
+	case "single":
+		return registry.LayoutSingle, nil
+	case "sharded":
+		return registry.LayoutSharded, nil
+	}
+	return registry.LayoutAuto, fmt.Errorf("harl: unknown registry layout %q (valid: auto, single, sharded)", s)
+}
+
+// OpenRegistryOptions is OpenRegistry with explicit layout and knobs.
+func OpenRegistryOptions(dir string, o RegistryOptions) (*Registry, error) {
+	layout, err := ParseRegistryLayout(o.Layout)
+	if err != nil {
+		return nil, err
+	}
+	r, err := registry.OpenOptions(dir, registry.Options{
+		Layout:     layout,
+		ShardCache: o.ShardCache,
+		BatchSize:  o.BatchSize,
+		BatchWait:  o.BatchWait,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &Registry{reg: r}, nil
 }
 
+// ErrRecordBroken marks a registry hit whose stored schedule no longer
+// reconstructs (a foreign or stale registry). Callers treat it as a
+// repairable miss — the tune path falls through to a fresh search that
+// force-replaces the poisoned key — unlike any other Lookup error, which
+// reports the registry itself unreadable.
+var ErrRecordBroken = errors.New("harl: registry record does not reconstruct")
+
 // Resolve returns the registry's best record for the workload on the target
 // under the given scheduler preset ("" matches every preset, returning the
-// overall best).
-func (r *Registry) Resolve(w Workload, t Target, scheduler string) (Record, bool) {
-	rec, ok := r.reg.Resolve(w.sg.Fingerprint(), t.plat.Name, scheduler)
-	if !ok {
-		return Record{}, false
+// overall best). The error reports an unreadable registry — distinct from a
+// plain miss.
+func (r *Registry) Resolve(w Workload, t Target, scheduler string) (Record, bool, error) {
+	rec, ok, err := r.reg.Resolve(w.sg.Fingerprint(), t.plat.Name, scheduler)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("harl: registry read: %w", err)
 	}
-	return fromInternalRecord(rec), true
+	if !ok {
+		return Record{}, false, nil
+	}
+	return fromInternalRecord(rec), true, nil
 }
 
 // SavedSchedule is a registry hit rendered for consumption: the stored
@@ -448,15 +507,20 @@ type SavedSchedule struct {
 
 // Lookup resolves the workload and reconstructs the stored schedule against
 // the workload's regenerated sketch list. A record whose steps no longer
-// deserialize (a foreign or stale registry) is a miss with an error.
+// deserialize (a foreign or stale registry) is a miss with an error wrapping
+// ErrRecordBroken; any other error means the registry storage itself failed
+// to read and the miss cannot be trusted.
 func (r *Registry) Lookup(w Workload, t Target, scheduler string) (SavedSchedule, bool, error) {
-	rec, ok := r.reg.Resolve(w.sg.Fingerprint(), t.plat.Name, scheduler)
+	rec, ok, err := r.reg.Resolve(w.sg.Fingerprint(), t.plat.Name, scheduler)
+	if err != nil {
+		return SavedSchedule{}, false, fmt.Errorf("harl: registry read: %w", err)
+	}
 	if !ok {
 		return SavedSchedule{}, false, nil
 	}
 	s, err := rec.Schedule(sketch.Generate(w.sg))
 	if err != nil {
-		return SavedSchedule{}, false, fmt.Errorf("harl: registry record for %s does not reconstruct: %w", w.Name(), err)
+		return SavedSchedule{}, false, fmt.Errorf("%w: %s: %v", ErrRecordBroken, w.Name(), err)
 	}
 	exec := hardware.NewSimulator(t.plat).Exec(s)
 	return SavedSchedule{
@@ -486,8 +550,51 @@ func (r *Registry) Records() []Record {
 	return out
 }
 
-// Close releases the registry. Publishes hold their file lock only for the
-// duration of each append, so Close is cheap and never blocks.
+// RegistryStats is a snapshot of the registry's storage counters.
+type RegistryStats struct {
+	// Layout is the storage layout in effect ("single" or "sharded").
+	Layout string
+	// Keys and Records count live best keys and journal records.
+	Keys    int
+	Records int
+	// Appends counts journal append operations; LockAcquisitions counts
+	// cross-process file locks taken (batching makes this smaller than the
+	// number of publishes); BatchesFlushed and BatchedRecords describe the
+	// publish batcher; Compactions counts shard journal rewrites.
+	Appends          int64
+	AppendedRecords  int64
+	LockAcquisitions int64
+	BatchesFlushed   int64
+	BatchedRecords   int64
+	Compactions      int64
+	// ResidentShards is how many shard indexes are cached in memory
+	// (sharded layout only).
+	ResidentShards int
+}
+
+// Layout reports the registry's storage layout ("single" or "sharded").
+func (r *Registry) Layout() string { return string(r.reg.Layout()) }
+
+// Stats returns a snapshot of the registry's storage counters.
+func (r *Registry) Stats() RegistryStats {
+	s := r.reg.Stats()
+	return RegistryStats{
+		Layout:           string(s.Layout),
+		Keys:             s.Keys,
+		Records:          s.Records,
+		Appends:          s.Appends,
+		AppendedRecords:  s.AppendedRecords,
+		LockAcquisitions: s.LockAcquisitions,
+		BatchesFlushed:   s.BatchesFlushed,
+		BatchedRecords:   s.BatchedRecords,
+		Compactions:      s.Compactions,
+		ResidentShards:   s.ResidentShards,
+	}
+}
+
+// Close releases the registry: pending batched publishes flush durably
+// first. Publishes hold their file lock only for the duration of each
+// append, so Close is cheap and never blocks on other processes.
 func (r *Registry) Close() error { return r.reg.Close() }
 
 // publishTasks publishes every tuned task's best into the registry. Warm- or
@@ -551,7 +658,11 @@ func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (
 		// A reconstruct error (foreign registry) falls through to a fresh
 		// tune, which force-replaces the broken record (its recorded time
 		// may be unbeatably low, so keep-better publishing would preserve
-		// the poison forever).
+		// the poison forever). A storage error is not repairable by tuning
+		// and must not be mistaken for a miss.
+		if err != nil && !errors.Is(err, ErrRecordBroken) {
+			return Result{}, err
+		}
 		brokenRecord = err != nil
 	}
 	workers := o.Workers
@@ -685,14 +796,18 @@ func networkByName(name string, batch int) (*workload.Network, error) {
 // a hit: counting it would let a full-hit run skip the search with nothing
 // actually seeded; its fingerprint is reported in broken instead, so the
 // run's publish force-replaces the poisoned key. It returns the database
-// (nil when nothing resolved) and the number of subgraphs that hit.
-func registryWarmDB(reg *Registry, graphs []*texpr.Subgraph, plat *hardware.Platform, scheduler string) (db *tunelog.Database, hits int, broken map[string]bool) {
+// (nil when nothing resolved) and the number of subgraphs that hit. A
+// registry storage error aborts the warm-up: its misses cannot be trusted.
+func registryWarmDB(reg *Registry, graphs []*texpr.Subgraph, plat *hardware.Platform, scheduler string) (db *tunelog.Database, hits int, broken map[string]bool, err error) {
 	if reg == nil {
-		return nil, 0, nil
+		return nil, 0, nil, nil
 	}
 	db = tunelog.NewDatabase()
 	for _, sg := range graphs {
-		rec, ok := reg.reg.Resolve(sg.Fingerprint(), plat.Name, scheduler)
+		rec, ok, rerr := reg.reg.Resolve(sg.Fingerprint(), plat.Name, scheduler)
+		if rerr != nil {
+			return nil, 0, nil, fmt.Errorf("harl: registry read: %w", rerr)
+		}
 		if !ok {
 			continue
 		}
@@ -709,7 +824,7 @@ func registryWarmDB(reg *Registry, graphs []*texpr.Subgraph, plat *hardware.Plat
 	if hits == 0 {
 		db = nil
 	}
-	return db, hits, broken
+	return db, hits, broken, nil
 }
 
 // TuneNetwork tunes one of the paper's networks ("bert", "resnet50",
@@ -743,7 +858,11 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 		closeJournal()
 		return NetworkResult{}, err
 	}
-	regDB, cacheHits, brokenKeys := registryWarmDB(o.Registry, net.Subgraphs, t.plat, o.Scheduler)
+	regDB, cacheHits, brokenKeys, err := registryWarmDB(o.Registry, net.Subgraphs, t.plat, o.Scheduler)
+	if err != nil {
+		closeJournal()
+		return NetworkResult{}, err
+	}
 	budget := o.Trials
 	if o.Registry != nil && cacheHits == len(net.Subgraphs) {
 		// Every subgraph is served from the registry: the whole network run

@@ -1,0 +1,179 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"harl/internal/tunelog"
+)
+
+// Layout names a registry's on-disk storage layout.
+type Layout string
+
+const (
+	// LayoutAuto detects the layout from the directory contents: an existing
+	// shards/ tree opens sharded, an existing (or absent) journal.jsonl opens
+	// single-file. New registries default to the single-file layout.
+	LayoutAuto Layout = ""
+	// LayoutSingle is the v1 layout: one flat journal.jsonl plus an
+	// index.json snapshot, with the whole index resident in memory. Right for
+	// small registries and kept for compatibility.
+	LayoutSingle Layout = "single"
+	// LayoutSharded is the v2 layout: the journal split by workload
+	// fingerprint into shards/<xx>/journal.jsonl, each independently locked
+	// and compacted, with an LRU bounding how many shard indexes stay
+	// resident. Right for registries that outgrow one in-memory index.
+	LayoutSharded Layout = "sharded"
+)
+
+// Options tune how a registry opens and publishes. The zero value auto-detects
+// the layout and uses the default batching, shard-cache and compaction knobs.
+type Options struct {
+	// Layout selects the storage layout (see the Layout constants). Opening a
+	// single-file registry with LayoutSharded migrates it in place.
+	Layout Layout
+	// ShardCache bounds how many shard indexes the sharded backend keeps
+	// resident (LRU eviction beyond it; 0 selects DefaultShardCache).
+	ShardCache int
+	// BatchSize and BatchWait shape the publish batcher: a flush happens when
+	// BatchSize records are pending or BatchWait after the first enqueued
+	// record, whichever is first. Zero values select DefaultBatchSize /
+	// DefaultBatchWait.
+	BatchSize int
+	BatchWait time.Duration
+	// CompactMinRecords and CompactFactor gate shard compaction: a shard is
+	// rewritten (keeping only per-key bests, Force heals preserved) when it
+	// holds at least CompactMinRecords records and more than CompactFactor
+	// times as many records as live keys. Zero values select
+	// DefaultCompactMinRecords / DefaultCompactFactor.
+	CompactMinRecords int
+	CompactFactor     float64
+}
+
+// Defaults for the Options knobs.
+const (
+	DefaultShardCache        = 64
+	DefaultBatchSize         = 64
+	DefaultBatchWait         = 2 * time.Millisecond
+	DefaultCompactMinRecords = 256
+	DefaultCompactFactor     = 4.0
+)
+
+func (o Options) withDefaults() Options {
+	if o.ShardCache <= 0 {
+		o.ShardCache = DefaultShardCache
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.BatchWait <= 0 {
+		o.BatchWait = DefaultBatchWait
+	}
+	if o.CompactMinRecords <= 0 {
+		o.CompactMinRecords = DefaultCompactMinRecords
+	}
+	if o.CompactFactor <= 0 {
+		o.CompactFactor = DefaultCompactFactor
+	}
+	return o
+}
+
+// Stats is a snapshot of a registry's storage counters — the observability
+// seam the service's /metrics endpoint renders. Counters are cumulative for
+// the lifetime of the open handle.
+type Stats struct {
+	// Layout is the backend in use ("single" or "sharded").
+	Layout Layout
+	// Keys is the number of distinct (workload, target, scheduler) bests;
+	// Records the number of distinct journal records backing them (live,
+	// including superseded ones not yet compacted away).
+	Keys    int
+	Records int
+	// Appends counts append batches written; AppendedRecords the records in
+	// them; LockAcquisitions the cross-process file locks taken to write them
+	// — batching makes LockAcquisitions grow slower than AppendedRecords.
+	Appends          int64
+	AppendedRecords  int64
+	LockAcquisitions int64
+	// BatchesFlushed and BatchedRecords count the publish batcher's flushes
+	// and the records they carried.
+	BatchesFlushed int64
+	BatchedRecords int64
+	// Compactions counts shard journal rewrites (sharded layout only).
+	Compactions int64
+	// ResidentShards is how many shard indexes are currently in memory
+	// (sharded layout only; bounded by Options.ShardCache).
+	ResidentShards int
+}
+
+// Backend is the registry's storage layer: everything below the publish
+// batcher. Implementations are safe for concurrent use in-process and
+// serialize cross-process writers behind advisory file locks; the append-only
+// journal(s) they keep are authoritative, so any backend's state can be
+// rebuilt from a replay.
+type Backend interface {
+	// Layout reports which layout the backend implements.
+	Layout() Layout
+	// Resolve returns the best known record for the exact key; an empty
+	// scheduler matches any preset (best across all, ties to the
+	// lexicographically smaller scheduler name). A miss re-checks durable
+	// state, so records other processes published become visible without
+	// reopening. The error reports an unreadable or damaged store — distinct
+	// from a plain miss.
+	Resolve(workload, target, scheduler string) (tunelog.Record, bool, error)
+	// AppendBatch durably appends the batch under the cross-process lock(s),
+	// skipping records the journal already holds, and reports per input
+	// record whether it improved (or established) its key. On a mid-batch
+	// write failure the backend reloads from disk so in-memory state never
+	// claims a record the journal did not durably get.
+	AppendBatch(recs []tunelog.Record) ([]bool, error)
+	// Len returns the number of keys with a best record.
+	Len() int
+	// Records returns the current best records sorted by key.
+	Records() ([]tunelog.Record, error)
+	// Stats snapshots the backend's counters.
+	Stats() Stats
+	// Close releases the backend.
+	Close() error
+}
+
+// DetectLayout reports the layout of an existing registry directory: a
+// shards/ tree means sharded, anything else (including a not-yet-created
+// directory) means single-file.
+func DetectLayout(dir string) Layout {
+	if st, err := os.Stat(filepath.Join(dir, ShardsDir)); err == nil && st.IsDir() {
+		return LayoutSharded
+	}
+	return LayoutSingle
+}
+
+// openBackend resolves the layout (detecting and, when a single-file registry
+// is opened with LayoutSharded, migrating in place) and opens it.
+func openBackend(dir string, o Options) (Backend, error) {
+	layout := o.Layout
+	detected := DetectLayout(dir)
+	switch layout {
+	case LayoutAuto:
+		layout = detected
+	case LayoutSingle:
+		if detected == LayoutSharded {
+			return nil, fmt.Errorf("registry: %s holds a sharded registry; open it with the sharded (or auto) layout", dir)
+		}
+	case LayoutSharded:
+		if detected == LayoutSingle {
+			if _, err := os.Stat(filepath.Join(dir, JournalFile)); err == nil {
+				if err := Migrate(dir, o); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("registry: unknown layout %q", layout)
+	}
+	if layout == LayoutSharded {
+		return openSharded(dir, o)
+	}
+	return openFileBackend(dir)
+}

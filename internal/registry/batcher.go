@@ -1,0 +1,145 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harl/internal/tunelog"
+)
+
+// The publish batcher. Every publisher — N concurrent daemon sessions, a CLI
+// run, a Replace heal — enqueues its record with a per-caller response
+// channel; a single flusher goroutine collects whatever arrives within the
+// batching window (up to batchSize records, or batchWait after the first)
+// and services the whole batch with ONE backend append: one lock
+// acquisition, one journal open, one index/header write, however many
+// sessions published. A lone publisher pays at most batchWait of latency —
+// noise against the seconds a tuning session spends earning the record —
+// and concurrent publishers stop serializing one file lock apiece.
+
+// PublishResult is the per-record outcome of a batched publish.
+type PublishResult struct {
+	// Improved reports the record beat (or established) its key's best.
+	Improved bool
+	Err      error
+}
+
+type publishReq struct {
+	rec  tunelog.Record
+	resp chan PublishResult
+}
+
+type batcher struct {
+	b    Backend
+	size int
+	wait time.Duration
+
+	mu     sync.RWMutex // guards closed vs in-flight enqueues
+	closed bool
+	ch     chan publishReq
+	done   chan struct{} // closed when the flusher has drained and exited
+
+	batches atomic.Int64
+	records atomic.Int64
+}
+
+func newBatcher(b Backend, size int, wait time.Duration) *batcher {
+	bt := &batcher{
+		b:    b,
+		size: size,
+		wait: wait,
+		ch:   make(chan publishReq, size*2),
+		done: make(chan struct{}),
+	}
+	go bt.run()
+	return bt
+}
+
+// publish enqueues one record and blocks until its batch is durable.
+func (bt *batcher) publish(rec tunelog.Record) (bool, error) {
+	res := <-bt.enqueue(rec)
+	return res.Improved, res.Err
+}
+
+// enqueue submits one record for the next batch; the returned channel
+// delivers exactly one result.
+func (bt *batcher) enqueue(rec tunelog.Record) <-chan PublishResult {
+	resp := make(chan PublishResult, 1)
+	bt.mu.RLock()
+	if bt.closed {
+		bt.mu.RUnlock()
+		resp <- PublishResult{Err: fmt.Errorf("registry: closed")}
+		return resp
+	}
+	bt.ch <- publishReq{rec: rec, resp: resp}
+	bt.mu.RUnlock()
+	return resp
+}
+
+// run is the flusher loop: take the first pending request, keep collecting
+// until the batch is full or the batching window since that first request
+// elapses, then flush. Intake closing drains what remains into final batches.
+func (bt *batcher) run() {
+	defer close(bt.done)
+	for first := range bt.ch {
+		batch := []publishReq{first}
+		timer := time.NewTimer(bt.wait)
+	collect:
+		for len(batch) < bt.size {
+			select {
+			case req, ok := <-bt.ch:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, req)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		bt.flush(batch)
+	}
+}
+
+// flush services one batch with a single backend append and fans the
+// per-record outcomes back to their callers. A batch-level failure reaches
+// every caller in the batch: the backend reloaded from disk, so retrying a
+// record that did land is a duplicate no-op, and retrying one that did not
+// re-appends it.
+func (bt *batcher) flush(batch []publishReq) {
+	recs := make([]tunelog.Record, len(batch))
+	for i, req := range batch {
+		recs[i] = req.rec
+	}
+	improved, err := bt.b.AppendBatch(recs)
+	bt.batches.Add(1)
+	bt.records.Add(int64(len(batch)))
+	for i, req := range batch {
+		res := PublishResult{Err: err}
+		if err == nil {
+			res.Improved = improved[i]
+		}
+		req.resp <- res
+	}
+}
+
+func (bt *batcher) stats() (batches, records int64) {
+	return bt.batches.Load(), bt.records.Load()
+}
+
+// close stops intake, waits for pending publishes to flush durably, and
+// stops the flusher. Idempotent.
+func (bt *batcher) close() {
+	bt.mu.Lock()
+	if bt.closed {
+		bt.mu.Unlock()
+		<-bt.done
+		return
+	}
+	bt.closed = true
+	close(bt.ch)
+	bt.mu.Unlock()
+	<-bt.done
+}

@@ -1,0 +1,77 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+
+	"harl/internal/atomicfile"
+	"harl/internal/tunelog"
+)
+
+// Shard compaction. A shard journal is append-only, so a hot key accumulates
+// one record per improvement (plus every no-op publish that was fresh when
+// appended); over time superseded records dominate and every cold load pays
+// to replay them. Compaction rewrites the shard journal keeping only the
+// current best record per key — Force heals included verbatim, so a replay
+// of the compacted journal reproduces the live best map record for record —
+// and bumps the shard's generation counter so other processes detect the
+// rewrite even when the new file lands on the same size and mtime as the old
+// one (the case a plain file stamp cannot see).
+//
+// Ordering: the header (carrying the bumped generation) is made durable
+// BEFORE the journal is replaced. A crash between the two leaves a bumped
+// generation over the old journal — readers just reload the same records —
+// whereas the reverse order could leave a rewritten journal under the old
+// generation, which a size+mtime collision would make invisible.
+
+// shouldCompactLocked reports whether the shard's journal is dominated by
+// superseded records: at least compactMin records, and more than
+// compactFactor times as many records as live keys. Caller holds the backend
+// write lock with the shard resident.
+func (b *shardedBackend) shouldCompactLocked(s *shard) bool {
+	return s.idx != nil && s.idx.size >= b.compactMin &&
+		float64(s.idx.size) > b.compactFactor*float64(len(s.idx.best))
+}
+
+// compactShardLocked rewrites the shard journal down to its best records.
+// Caller holds the backend write lock AND the shard's cross-process file
+// lock (compaction rename-replaces the journal; the lock file, which is
+// never renamed, is what keeps other writers out).
+func (b *shardedBackend) compactShardLocked(s *shard) error {
+	kept := sortedBest(s.idx.best)
+	var buf bytes.Buffer
+	for _, rec := range kept {
+		line, err := rec.MarshalLine()
+		if err != nil {
+			return fmt.Errorf("registry: compact shard %s: %w", s.id, err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	gen := s.stamp.gen + 1
+	if err := writeShardHeader(s.dir, shardHeader{Generation: gen, Keys: len(kept), Records: len(kept)}); err != nil {
+		return err
+	}
+	if err := writeJournalAtomic(s.journalPath(), buf.Bytes()); err != nil {
+		return fmt.Errorf("registry: compact shard %s: %w", s.id, err)
+	}
+	// The resident index stays valid — compaction never changes bests — but
+	// the dedup set and size now describe the rewritten journal.
+	s.idx.seen = make(map[tunelog.Record]bool, len(kept))
+	for _, rec := range kept {
+		s.idx.seen[rec] = true
+	}
+	s.idx.size = len(kept)
+	s.stamp = shardStamp{gen: gen, fs: stampOf(s.journalPath())}
+	s.keys = len(kept)
+	s.records = len(kept)
+	b.stats.Compactions++
+	return nil
+}
+
+// writeJournalAtomic replaces a shard journal via temp-file + fsync + rename
+// (atomicfile semantics), so readers racing the compaction observe either
+// the old journal or the new one, never a truncated mix.
+func writeJournalAtomic(path string, data []byte) error {
+	return atomicfile.WriteFile(path, data, 0o644)
+}

@@ -4,27 +4,34 @@
 // artifact so a second request for an already-tuned workload costs a lookup
 // instead of a search.
 //
-// On disk a registry is a directory with two files:
+// Storage is pluggable behind the Backend interface, with two layouts:
 //
-//	journal.jsonl  append-only tunelog journal of every published record —
-//	               the authoritative state (same schema as tuning logs, so
-//	               any tuning journal can be imported wholesale; replaying it
-//	               in order reproduces the best map exactly, including Force
-//	               heal records)
-//	index.json     atomic snapshot of the current best record per key for
-//	               external readers and tools; rewritten via temp-file +
-//	               rename after journal growth, with the journal record
-//	               count embedded so a consumer can tell whether the
-//	               snapshot lags the journal
+//	single   (v1) one flat journal.jsonl — the authoritative append-only log
+//	         (same schema as tuning logs, so any tuning journal can be
+//	         imported wholesale; replaying it in order reproduces the best
+//	         map exactly, including Force heal records) — plus an index.json
+//	         snapshot for external readers, rewritten via temp-file + rename
+//	         after journal growth. The whole index stays in memory.
+//	sharded  (v2) the journal split by workload fingerprint across
+//	         shards/<xx>/journal.jsonl (256 shards), each independently
+//	         locked and compacted when superseded records dominate, with an
+//	         LRU bounding how many shard indexes are resident — the layout
+//	         for registries holding orders of magnitude more keys than fit
+//	         one in-memory index. See shardbackend.go.
+//
+// In both layouts the append-only journal(s) stay authoritative: any backend
+// rebuilds its state from a replay, and a single-file registry opens
+// unchanged or migrates in place to the sharded layout (Migrate).
 //
 // Concurrency: a Registry value is safe for concurrent readers and
-// concurrent publishers in-process (RWMutex; publishes serialize). Across
-// processes, writers serialize each publish behind a blocking advisory lock
-// on the journal (tunelog.OpenJournalWait), held only for the append — two
-// processes publishing concurrently interleave whole records, never bytes.
-// Open never writes, so read-only consumers can open a registry another
-// process is publishing into; and a Resolve miss re-checks the journal's
-// stat and reloads when another process has grown it, so a long-running
+// concurrent publishers in-process. Publishes funnel through a batcher —
+// concurrent sessions enqueue records with per-caller response channels and
+// one locked append services the whole batch, so N concurrent publishers
+// amortize lock acquisitions instead of paying one apiece. Across processes,
+// writers serialize behind blocking advisory file locks held only for the
+// append. Open never writes, so read-only consumers can open a registry
+// another process is publishing into; and a Resolve miss re-checks durable
+// state and reloads when another process has grown it, so a long-running
 // daemon observes records a CLI publishes beside it.
 package registry
 
@@ -34,7 +41,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
 	"time"
 
 	"harl/internal/atomicfile"
@@ -44,27 +50,28 @@ import (
 // IndexVersion is the index.json format version written by this package.
 const IndexVersion = 1
 
-// JournalFile and IndexFile are the registry's on-disk layout under its
-// directory.
+// JournalFile, IndexFile and ShardsDir are the registry's on-disk layout
+// under its directory (JournalFile/IndexFile for the single-file layout,
+// ShardsDir for the sharded one).
 const (
 	JournalFile = "journal.jsonl"
 	IndexFile   = "index.json"
+	ShardsDir   = "shards"
 )
 
-// Registry is an open best-schedule store.
+// Registry is an open best-schedule store: a storage backend behind a
+// publish batcher.
 type Registry struct {
 	dir string
-
-	mu    sync.RWMutex
-	best  map[string]tunelog.Record // key() -> current best record
-	seen  map[tunelog.Record]bool   // records known to be in the journal
-	size  int                       // distinct records in the journal
-	stamp fileStamp                 // journal stat we are in sync with
+	b   Backend
+	bat *batcher
 }
 
 // fileStamp identifies a journal state cheaply; the journal is append-only,
 // so any growth changes the size (and a cross-process publish that somehow
-// kept the size would still change mtime).
+// kept the size would still change mtime). It cannot detect a rewrite that
+// preserves both — the sharded layout adds a generation counter for that
+// (see shardStamp).
 type fileStamp struct {
 	size  int64
 	mtime time.Time
@@ -83,6 +90,57 @@ func stampOf(path string) fileStamp {
 // cross-contaminate their bests.
 func key(workload, target, scheduler string) string {
 	return workload + "\x00" + target + "\x00" + scheduler
+}
+
+// absorb folds one record into a best map, reporting whether it improved (or
+// established) its key. Ties keep the incumbent, so re-imports of equal
+// measurements never churn the map; a Force record wins unconditionally (the
+// durable heal path — journal replays preserve it because absorption is
+// order-sensitive).
+func absorb(best map[string]tunelog.Record, rec tunelog.Record) bool {
+	k := key(rec.Workload, rec.Target, rec.Scheduler)
+	if !rec.Force {
+		if cur, ok := best[k]; ok && cur.ExecSec <= rec.ExecSec {
+			return false
+		}
+	}
+	best[k] = rec
+	return true
+}
+
+// resolveBest answers the exact or any-scheduler query against a best map.
+func resolveBest(best map[string]tunelog.Record, workload, target, scheduler string) (tunelog.Record, bool) {
+	if scheduler != "" {
+		rec, ok := best[key(workload, target, scheduler)]
+		return rec, ok
+	}
+	var out tunelog.Record
+	found := false
+	for _, rec := range best {
+		if rec.Workload != workload || rec.Target != target {
+			continue
+		}
+		if !found || rec.ExecSec < out.ExecSec ||
+			(rec.ExecSec == out.ExecSec && rec.Scheduler < out.Scheduler) {
+			out, found = rec, true
+		}
+	}
+	return out, found
+}
+
+// sortedBest returns a best map's records sorted by key — the stable
+// enumeration order the index file and Records use.
+func sortedBest(best map[string]tunelog.Record) []tunelog.Record {
+	keys := make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]tunelog.Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, best[k])
+	}
+	return out
 }
 
 type indexFile struct {
@@ -111,201 +169,68 @@ func loadIndex(path string) (indexFile, error) {
 	return idx, nil
 }
 
-// Open opens (creating if needed) the registry directory and loads its state
-// from the journal (the index snapshot is written for external readers, never
-// read back — the journal is authoritative and must be parsed anyway). Open
-// never writes, so read-only consumers can open a registry another process
-// is actively publishing into.
-func Open(dir string) (*Registry, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("registry: create dir: %w", err)
-	}
-	r := &Registry{dir: dir}
-	if err := r.loadLocked(); err != nil {
-		return nil, err
-	}
-	return r, nil
-}
-
-// loadLocked (re)builds the in-memory state from the journal. Caller holds
-// the write lock (or is constructing the registry).
-func (r *Registry) loadLocked() error {
-	r.best = make(map[string]tunelog.Record)
-	r.seen = make(map[tunelog.Record]bool)
-	r.size = 0
-	path := filepath.Join(r.dir, JournalFile)
-	r.stamp = stampOf(path)
-	if _, err := os.Stat(path); err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("registry: stat journal: %w", err)
-	}
-	db, err := tunelog.LoadFile(path)
-	if err != nil {
-		return err
-	}
-	for _, rec := range db.Records() {
-		r.seen[rec] = true
-		r.absorb(rec)
-	}
-	r.size = db.Size()
-	return nil
-}
-
-// refreshLocked reloads from disk if another process has grown the journal
-// since our last load or append. Caller holds the write lock.
-func (r *Registry) refreshLocked() error {
-	if stampOf(filepath.Join(r.dir, JournalFile)) == r.stamp {
-		return nil
-	}
-	return r.loadLocked()
-}
-
-// absorb folds one record into the in-memory best map, reporting whether it
-// improved (or established) its key. Ties keep the incumbent, so re-imports
-// of equal measurements never churn the map; a Force record wins
-// unconditionally (the durable heal path — journal replays preserve it
-// because absorption is order-sensitive).
-func (r *Registry) absorb(rec tunelog.Record) bool {
-	k := key(rec.Workload, rec.Target, rec.Scheduler)
-	if !rec.Force {
-		if cur, ok := r.best[k]; ok && cur.ExecSec <= rec.ExecSec {
-			return false
-		}
-	}
-	r.best[k] = rec
-	return true
-}
-
-// writeIndex snapshots the best map as index.json (atomic temp-file +
-// rename), keys sorted so equal states serialize byte-identically. Caller
-// holds the write lock.
-func (r *Registry) writeIndex() error {
-	idx := indexFile{V: IndexVersion, JournalRecords: r.size}
-	keys := make([]string, 0, len(r.best))
-	for k := range r.best {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		idx.Best = append(idx.Best, r.best[k])
-	}
+// writeIndexFile snapshots a best map as an index file (atomic temp-file +
+// rename), keys sorted so equal states serialize byte-identically.
+func writeIndexFile(path string, best map[string]tunelog.Record, records int) error {
+	idx := indexFile{V: IndexVersion, JournalRecords: records, Best: sortedBest(best)}
 	data, err := json.MarshalIndent(idx, "", " ")
 	if err != nil {
 		return fmt.Errorf("registry: marshal index: %w", err)
 	}
-	return atomicfile.WriteFile(filepath.Join(r.dir, IndexFile), append(data, '\n'), 0o644)
+	return atomicfile.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Open opens (creating if needed) the registry directory with auto-detected
+// layout and default options, loading state from the authoritative
+// journal(s). Open never writes, so read-only consumers can open a registry
+// another process is actively publishing into.
+func Open(dir string) (*Registry, error) {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions is Open with explicit layout, batching, shard-cache and
+// compaction knobs.
+func OpenOptions(dir string, o Options) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: create dir: %w", err)
+	}
+	o = o.withDefaults()
+	b, err := openBackend(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{dir: dir, b: b, bat: newBatcher(b, o.BatchSize, o.BatchWait)}, nil
 }
 
 // Resolve returns the best known record for the key, if any — the cache-hit
 // path a tuning request consults before spending a single trial. An empty
 // scheduler matches any preset, returning the best record across all of them
 // (ties to the lexicographically smaller scheduler name, deterministically).
-// A miss re-checks the journal on disk first, so publishes from other
-// processes become visible without reopening.
-func (r *Registry) Resolve(workload, target, scheduler string) (tunelog.Record, bool) {
-	r.mu.RLock()
-	rec, ok := r.resolveLocked(workload, target, scheduler)
-	stale := !ok && stampOf(filepath.Join(r.dir, JournalFile)) != r.stamp
-	r.mu.RUnlock()
-	if ok || !stale {
-		return rec, ok
-	}
-	// Miss with a grown journal: another process published since our load.
-	// Reload and retry once (a miss already costs a full search downstream,
-	// so the reload is cheap by comparison).
-	r.mu.Lock()
-	if err := r.refreshLocked(); err != nil {
-		r.mu.Unlock()
-		return tunelog.Record{}, false
-	}
-	rec, ok = r.resolveLocked(workload, target, scheduler)
-	r.mu.Unlock()
-	return rec, ok
-}
-
-func (r *Registry) resolveLocked(workload, target, scheduler string) (tunelog.Record, bool) {
-	if scheduler != "" {
-		rec, ok := r.best[key(workload, target, scheduler)]
-		return rec, ok
-	}
-	var out tunelog.Record
-	found := false
-	for _, rec := range r.best {
-		if rec.Workload != workload || rec.Target != target {
-			continue
-		}
-		if !found || rec.ExecSec < out.ExecSec ||
-			(rec.ExecSec == out.ExecSec && rec.Scheduler < out.Scheduler) {
-			out, found = rec, true
-		}
-	}
-	return out, found
-}
-
-// appendLocked appends records to the journal — opened, appended and closed
-// under a blocking advisory lock, so concurrent publishers from other
-// processes serialize at publish granularity — absorbs them into the best
-// map, and rewrites the index snapshot once. Records the journal is already
-// known to hold are skipped entirely (re-importing a seed journal on every
-// daemon boot must not grow the file). It returns how many records improved
-// (or established) their key. Caller holds the write lock.
-func (r *Registry) appendLocked(recs []tunelog.Record) (int, error) {
-	path := filepath.Join(r.dir, JournalFile)
-	jr, err := tunelog.OpenJournalWait(path)
-	if err != nil {
-		return 0, err
-	}
-	// The refresh must happen AFTER the flock is held: while we were blocked
-	// waiting, another process may have appended — the journal is frozen to
-	// other writers now, so what we load here is exactly what our stamp will
-	// describe. Refreshing before the lock would fold the other writer's
-	// bytes into our post-append stamp without ever loading their records,
-	// making them permanently invisible to this process.
-	if stampOf(path) != r.stamp {
-		if err := r.loadLocked(); err != nil {
-			jr.Close()
-			return 0, err
-		}
-	}
-	fresh := make([]tunelog.Record, 0, len(recs))
-	for _, rec := range recs {
-		if !r.seen[rec] {
-			fresh = append(fresh, rec)
-		}
-	}
-	if len(fresh) == 0 {
-		return 0, jr.Close()
-	}
-	improved := 0
-	for _, rec := range fresh {
-		if err := jr.Append(rec); err != nil {
-			jr.Close()
-			return improved, err
-		}
-		r.seen[rec] = true
-		r.size++
-		if r.absorb(rec) {
-			improved++
-		}
-	}
-	if err := jr.Close(); err != nil {
-		return improved, err
-	}
-	r.stamp = stampOf(path)
-	return improved, r.writeIndex()
+// A miss re-checks durable state first, so publishes from other processes
+// become visible without reopening. The error reports an unreadable or
+// damaged store — the caller must not conflate it with a plain miss (a
+// service would silently turn every request into a cold search).
+func (r *Registry) Resolve(workload, target, scheduler string) (tunelog.Record, bool, error) {
+	return r.b.Resolve(workload, target, scheduler)
 }
 
 // Publish records one measurement into the registry: it is appended to the
-// journal (unless the journal already holds it) and the best map and index
-// snapshot update only when the record beats the current best for its key.
-// The returned bool reports that improvement.
+// journal (unless the journal already holds it) and the best map updates only
+// when the record beats the current best for its key. The returned bool
+// reports that improvement. Concurrent publishes are batched: each caller
+// blocks until its record is durable, but one locked append services every
+// record that arrived within the batching window.
 func (r *Registry) Publish(rec tunelog.Record) (bool, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	improved, err := r.appendLocked([]tunelog.Record{rec})
-	return improved > 0, err
+	return r.bat.publish(rec)
+}
+
+// PublishAsync enqueues a publish without waiting: the returned channel
+// delivers the record's improvement flag and error once its batch is durable.
+// This is the bulk-ingest path — a loop of PublishAsync calls followed by a
+// drain fills batches completely instead of paying one batching window per
+// record.
+func (r *Registry) PublishAsync(rec tunelog.Record) <-chan PublishResult {
+	return r.bat.enqueue(rec)
 }
 
 // Replace force-installs a record as its key's best even if the incumbent
@@ -316,10 +241,25 @@ func (r *Registry) Publish(rec tunelog.Record) (bool, error) {
 // replays absorb it in order, so rebuilds keep the replacement.
 func (r *Registry) Replace(rec tunelog.Record) error {
 	rec.Force = true
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, err := r.appendLocked([]tunelog.Record{rec})
+	_, err := r.bat.publish(rec)
 	return err
+}
+
+// PublishBatch appends an already-assembled batch in one locked write,
+// bypassing the batcher (the records are a batch by construction), and
+// returns how many improved their key.
+func (r *Registry) PublishBatch(recs []tunelog.Record) (int, error) {
+	improved, err := r.b.AppendBatch(recs)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ok := range improved {
+		if ok {
+			n++
+		}
+	}
+	return n, nil
 }
 
 // ImportJournal publishes every record of a tuning-record log (corrupt lines
@@ -332,41 +272,70 @@ func (r *Registry) ImportJournal(path string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.appendLocked(db.Records())
+	return r.PublishBatch(db.Records())
 }
 
 // Len returns the number of distinct (workload, target, scheduler) keys with
 // a best record.
-func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.best)
-}
+func (r *Registry) Len() int { return r.b.Len() }
 
 // Records returns a copy of the current best records, sorted by key — the
 // stable enumeration order the index file uses.
 func (r *Registry) Records() []tunelog.Record {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	keys := make([]string, 0, len(r.best))
-	for k := range r.best {
-		keys = append(keys, k)
+	recs, err := r.b.Records()
+	if err != nil {
+		return nil
 	}
-	sort.Strings(keys)
-	out := make([]tunelog.Record, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, r.best[k])
-	}
-	return out
+	return recs
+}
+
+// Layout reports the storage layout backing this registry.
+func (r *Registry) Layout() Layout { return r.b.Layout() }
+
+// Stats snapshots the registry's storage counters (appends, lock
+// acquisitions, batch flushes, compactions, resident shards).
+func (r *Registry) Stats() Stats {
+	s := r.b.Stats()
+	s.BatchesFlushed, s.BatchedRecords = r.bat.stats()
+	return s
 }
 
 // Dir returns the registry's directory path.
 func (r *Registry) Dir() string { return r.dir }
 
-// Close releases the registry. Publishes hold the journal (and its advisory
-// lock) only for the duration of each append, so there is nothing to tear
-// down — Close exists so callers can treat a Registry like the file-backed
-// resource it is.
-func (r *Registry) Close() error { return nil }
+// Close flushes the publish batcher (pending publishes complete durably) and
+// releases the backend. Publishes after Close fail.
+func (r *Registry) Close() error {
+	r.bat.close()
+	return r.b.Close()
+}
+
+// Migrate converts a single-file registry directory to the sharded layout in
+// place: the journal replays into per-shard journals (order preserved, so
+// Force heals keep their effect), the old journal is kept as
+// journal.v1.jsonl for rollback, and the now-stale index.json is removed.
+// OpenOptions with LayoutSharded calls this automatically for a v1 directory.
+func Migrate(dir string, o Options) error {
+	o = o.withDefaults()
+	src := filepath.Join(dir, JournalFile)
+	db, err := tunelog.LoadFile(src)
+	if err != nil {
+		return fmt.Errorf("registry: migrate: %w", err)
+	}
+	sb, err := openSharded(dir, o)
+	if err != nil {
+		return err
+	}
+	if _, err := sb.AppendBatch(db.Records()); err != nil {
+		sb.Close()
+		return fmt.Errorf("registry: migrate: %w", err)
+	}
+	if err := sb.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(src, filepath.Join(dir, "journal.v1.jsonl")); err != nil {
+		return fmt.Errorf("registry: migrate: retire v1 journal: %w", err)
+	}
+	os.Remove(filepath.Join(dir, IndexFile))
+	return nil
+}

@@ -23,6 +23,17 @@ func sampleRecord(seed uint64, scheduler string, exec float64, trial int) tunelo
 	return tunelog.NewRecord(sg, "cpu-xeon6226r", scheduler, s, exec, trial, seed)
 }
 
+// resolve adapts the 3-value Resolve for tests that only assert hit/miss: a
+// storage error is always fatal there.
+func resolve(t *testing.T, r *Registry, w, target, scheduler string) (tunelog.Record, bool) {
+	t.Helper()
+	rec, ok, err := r.Resolve(w, target, scheduler)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return rec, ok
+}
+
 func TestPublishResolveRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	r, err := Open(dir)
@@ -46,11 +57,11 @@ func TestPublishResolveRoundTrip(t *testing.T) {
 	if improved, err = r.Publish(best); err != nil || !improved {
 		t.Fatalf("better record: improved=%v err=%v", improved, err)
 	}
-	got, ok := r.Resolve(rec.Workload, rec.Target, "harl")
+	got, ok := resolve(t, r, rec.Workload, rec.Target, "harl")
 	if !ok || got != best {
 		t.Fatalf("Resolve = %+v, %v; want the published best", got, ok)
 	}
-	if _, ok := r.Resolve(rec.Workload, "gpu-rtx3090", "harl"); ok {
+	if _, ok := resolve(t, r, rec.Workload, "gpu-rtx3090", "harl"); ok {
 		t.Fatal("miss expected for an untuned target")
 	}
 	if err := r.Close(); err != nil {
@@ -63,7 +74,7 @@ func TestPublishResolveRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r2.Close()
-	got, ok = r2.Resolve(rec.Workload, rec.Target, "harl")
+	got, ok = resolve(t, r2, rec.Workload, rec.Target, "harl")
 	if !ok || got != best {
 		t.Fatalf("after reopen Resolve = %+v, %v; want the published best", got, ok)
 	}
@@ -82,7 +93,7 @@ func TestResolveAnyScheduler(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, ok := r.Resolve(harl.Workload, harl.Target, "")
+	got, ok := resolve(t, r, harl.Workload, harl.Target, "")
 	if !ok || got != ansor {
 		t.Fatalf("empty scheduler must resolve the overall best; got %+v", got)
 	}
@@ -110,7 +121,7 @@ func TestStaleIndexRebuiltFromJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r2.Close()
-	if got, ok := r2.Resolve(rec.Workload, rec.Target, "harl"); !ok || got != rec {
+	if got, ok := resolve(t, r2, rec.Workload, rec.Target, "harl"); !ok || got != rec {
 		t.Fatalf("rebuild from journal failed: %+v, %v", got, ok)
 	}
 	// Open never writes (read-only consumers must be able to open a registry
@@ -161,7 +172,7 @@ func TestImportJournal(t *testing.T) {
 	if r.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 key", r.Len())
 	}
-	if got, ok := r.Resolve(best.Workload, best.Target, "harl"); !ok || got != best {
+	if got, ok := resolve(t, r, best.Workload, best.Target, "harl"); !ok || got != best {
 		t.Fatalf("Resolve after import = %+v, %v", got, ok)
 	}
 }
@@ -190,7 +201,12 @@ func TestConcurrentResolveDuringPublish(t *testing.T) {
 					return
 				default:
 				}
-				if rec, ok := r.Resolve(probe.Workload, probe.Target, "harl"); ok {
+				rec, ok, err := r.Resolve(probe.Workload, probe.Target, "harl")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
 					if rec.Workload == "" || rec.Steps == "" || rec.ExecSec <= 0 {
 						t.Error("torn record observed")
 						return
@@ -207,7 +223,7 @@ func TestConcurrentResolveDuringPublish(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
-	if rec, ok := r.Resolve(probe.Workload, probe.Target, "harl"); !ok || fmt.Sprintf("%.0e", rec.ExecSec) != "1e-06" {
+	if rec, ok := resolve(t, r, probe.Workload, probe.Target, "harl"); !ok || fmt.Sprintf("%.0e", rec.ExecSec) != "1e-06" {
 		t.Fatalf("final best = %+v, %v", rec, ok)
 	}
 }
@@ -237,10 +253,10 @@ func TestTwoWriterHandlesInterleaveWholeRecords(t *testing.T) {
 	// Cross-visibility without reopening: B folded A's record in during its
 	// own publish (post-lock refresh), and A's next miss re-checks the
 	// journal stat and reloads B's record.
-	if got, ok := b.Resolve(recA.Workload, recA.Target, "harl"); !ok || got != recA {
+	if got, ok := resolve(t, b, recA.Workload, recA.Target, "harl"); !ok || got != recA {
 		t.Fatalf("writer B does not see writer A's record: %+v, %v", got, ok)
 	}
-	if got, ok := a.Resolve(recB.Workload, recB.Target, "ansor"); !ok || got != recB {
+	if got, ok := resolve(t, a, recB.Workload, recB.Target, "ansor"); !ok || got != recB {
 		t.Fatalf("writer A does not see writer B's record: %+v, %v", got, ok)
 	}
 	fresh, err := Open(dir)
@@ -250,10 +266,10 @@ func TestTwoWriterHandlesInterleaveWholeRecords(t *testing.T) {
 	if fresh.Len() != 2 {
 		t.Fatalf("fresh open sees %d keys, want both writers' records", fresh.Len())
 	}
-	if got, ok := fresh.Resolve(recA.Workload, recA.Target, "harl"); !ok || got != recA {
+	if got, ok := resolve(t, fresh, recA.Workload, recA.Target, "harl"); !ok || got != recA {
 		t.Fatalf("writer A's record lost: %+v, %v", got, ok)
 	}
-	if got, ok := fresh.Resolve(recB.Workload, recB.Target, "ansor"); !ok || got != recB {
+	if got, ok := resolve(t, fresh, recB.Workload, recB.Target, "ansor"); !ok || got != recB {
 		t.Fatalf("writer B's record lost: %+v, %v", got, ok)
 	}
 }

@@ -1,0 +1,103 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"harl/internal/tunelog"
+)
+
+// TestRegistryScaleSmoke is the CI bench-smoke scale check, gated behind
+// HARL_REGISTRY_SCALE=1: ~10k synthetic keys publish into a sharded registry,
+// point lookups stay sub-millisecond, a dominated shard compacts down, and a
+// v1 single-file registry beside it still opens and resolves untouched.
+func TestRegistryScaleSmoke(t *testing.T) {
+	if os.Getenv("HARL_REGISTRY_SCALE") != "1" {
+		t.Skip("set HARL_REGISTRY_SCALE=1 to run the registry scale smoke")
+	}
+	dir := t.TempDir()
+	r, err := OpenOptions(dir, Options{Layout: LayoutSharded, BatchWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10000
+	const chunk = 500
+	recs := make([]tunelog.Record, 0, chunk)
+	for i := 0; i < keys; i++ {
+		recs = append(recs, synthRecord(fmt.Sprintf("w@scale-%05d", i), "harl", float64(i+1)*1e-7, i+1))
+		if len(recs) == chunk {
+			if _, err := r.PublishBatch(recs); err != nil {
+				t.Fatal(err)
+			}
+			recs = recs[:0]
+		}
+	}
+	if r.Len() != keys {
+		t.Fatalf("Len = %d, want %d", r.Len(), keys)
+	}
+	if st := r.Stats(); st.ResidentShards > DefaultShardCache {
+		t.Fatalf("%d resident shards, cap %d", st.ResidentShards, DefaultShardCache)
+	}
+
+	// Point lookups over warm and cold shards must stay sub-millisecond on
+	// average — the service's cache-hit latency contract.
+	const probes = 2000
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		w := fmt.Sprintf("w@scale-%05d", (i*4999)%keys)
+		if _, ok := resolve(t, r, w, "cpu-xeon6226r", "harl"); !ok {
+			t.Fatalf("%s missing", w)
+		}
+	}
+	if avg := time.Since(start) / probes; avg >= time.Millisecond {
+		t.Fatalf("average resolve %v, want sub-millisecond", avg)
+	}
+
+	// Dominate one key with superseded records: its shard must compact and
+	// the journal shrink below the records appended to it.
+	hot := "w@scale-00000"
+	const supersedes = 2 * DefaultCompactMinRecords
+	for i := 0; i < supersedes; i += chunk {
+		batch := make([]tunelog.Record, 0, chunk)
+		for j := 0; j < chunk && i+j < supersedes; j++ {
+			batch = append(batch, synthRecord(hot, "harl", 1e-7/float64(i+j+2), keys+i+j))
+		}
+		if _, err := r.PublishBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d superseded records on one key", supersedes)
+	}
+	if st.Records >= keys+supersedes {
+		t.Fatalf("%d records for %d keys — compaction shrank nothing", st.Records, keys)
+	}
+	if _, ok := resolve(t, r, hot, "cpu-xeon6226r", "harl"); !ok {
+		t.Fatal("hot key lost through compaction")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A v1 registry created beside all this still opens and resolves.
+	v1dir := t.TempDir()
+	v1 := openLayout(t, v1dir, LayoutSingle)
+	rec := synthRecord("w@v1-smoke", "harl", 1e-4, 1)
+	if _, err := v1.Publish(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v1again := openLayout(t, v1dir, LayoutAuto)
+	defer v1again.Close()
+	if v1again.Layout() != LayoutSingle {
+		t.Fatalf("v1 dir detected as %q", v1again.Layout())
+	}
+	if got, ok := resolve(t, v1again, "w@v1-smoke", rec.Target, "harl"); !ok || got != rec {
+		t.Fatalf("v1 resolve = %+v, %v", got, ok)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -65,12 +66,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// registryIOError marks a registry storage failure, as opposed to an invalid
+// request: handlers answer 500 and bump the registry-error counter, because a
+// miss fabricated from an unreadable registry would silently burn a full
+// search (or report a schedule absent that is durably there).
+type registryIOError struct{ err error }
+
+func (e registryIOError) Error() string { return e.err.Error() }
+func (e registryIOError) Unwrap() error { return e.err }
+
 // lookup resolves a normalized operator request against the registry.
 // Network requests have no single stored schedule and never fast-path. A
 // stored record that no longer reconstructs (foreign or stale registry) is
 // reported as a miss, not an error: the tune path falls through to a fresh
-// search that repairs the key, and the lookup endpoint reports absence —
-// only an invalid request surfaces an error (a 400 to the client).
+// search that repairs the key, and the lookup endpoint reports absence. An
+// invalid request surfaces its error (a 400 to the client); a registry read
+// failure comes back as a registryIOError (a 500 — it is not a miss).
 func (s *Server) lookup(req Request) (harl.SavedSchedule, bool, error) {
 	if s.registry == nil || req.Network != "" {
 		return harl.SavedSchedule{}, false, nil
@@ -81,9 +92,24 @@ func (s *Server) lookup(req Request) (harl.SavedSchedule, bool, error) {
 	}
 	hit, ok, err := s.registry.Lookup(w, tgt, req.Scheduler)
 	if err != nil {
-		return harl.SavedSchedule{}, false, nil
+		if errors.Is(err, harl.ErrRecordBroken) {
+			return harl.SavedSchedule{}, false, nil
+		}
+		return harl.SavedSchedule{}, false, registryIOError{err}
 	}
 	return hit, ok, nil
+}
+
+// writeLookupError maps a lookup failure onto the HTTP surface: storage
+// errors are 500s and counted, anything else is the client's bad request.
+func (s *Server) writeLookupError(w http.ResponseWriter, err error) {
+	var ioe registryIOError
+	if errors.As(err, &ioe) {
+		s.queue.CountRegistryError()
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // scheduleResponse is the JSON shape of a registry hit.
@@ -127,7 +153,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	req = req.normalize()
 	hit, ok, err := s.lookup(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeLookupError(w, err)
 		return
 	}
 	if ok {
@@ -164,6 +190,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad batch %q", b))
 			return
 		}
+		if v < 1 {
+			// An explicit non-positive batch is the client's error; clamping it
+			// to 1 would answer a question the client never asked.
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch must be >= 1, got %d", v))
+			return
+		}
 		batch = v
 	}
 	req := Request{
@@ -179,7 +211,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	hit, ok, err := s.lookup(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeLookupError(w, err)
 		return
 	}
 	if !ok {
@@ -313,7 +345,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE harl_jobs_plateau_stopped_total counter\nharl_jobs_plateau_stopped_total %d\n", m.PlateauStopped)
 	fmt.Fprintf(w, "# TYPE harl_registry_hits_total counter\nharl_registry_hits_total %d\n", m.RegistryHits)
 	fmt.Fprintf(w, "# TYPE harl_registry_misses_total counter\nharl_registry_misses_total %d\n", m.RegistryMisses)
+	fmt.Fprintf(w, "# TYPE harl_registry_errors_total counter\nharl_registry_errors_total %d\n", m.RegistryErrors)
 	fmt.Fprintf(w, "# TYPE harl_registry_hit_rate gauge\nharl_registry_hit_rate %.4f\n", hitRate)
 	fmt.Fprintf(w, "# TYPE harl_registry_keys gauge\nharl_registry_keys %d\n", keys)
+	if s.registry != nil {
+		rs := s.registry.Stats()
+		fmt.Fprintf(w, "# TYPE harl_registry_records gauge\nharl_registry_records %d\n", rs.Records)
+		fmt.Fprintf(w, "# TYPE harl_registry_appends_total counter\nharl_registry_appends_total %d\n", rs.Appends)
+		fmt.Fprintf(w, "# TYPE harl_registry_lock_acquisitions_total counter\nharl_registry_lock_acquisitions_total %d\n", rs.LockAcquisitions)
+		fmt.Fprintf(w, "# TYPE harl_registry_batches_flushed_total counter\nharl_registry_batches_flushed_total %d\n", rs.BatchesFlushed)
+		fmt.Fprintf(w, "# TYPE harl_registry_batched_records_total counter\nharl_registry_batched_records_total %d\n", rs.BatchedRecords)
+		fmt.Fprintf(w, "# TYPE harl_registry_compactions_total counter\nharl_registry_compactions_total %d\n", rs.Compactions)
+		fmt.Fprintf(w, "# TYPE harl_registry_resident_shards gauge\nharl_registry_resident_shards %d\n", rs.ResidentShards)
+	}
 	fmt.Fprintf(w, "# TYPE harl_trials_measured_total counter\nharl_trials_measured_total %d\n", m.TrialsMeasured)
 }

@@ -61,7 +61,9 @@ type Request struct {
 // genuinely different searches for networks (legacy serial tuner vs the
 // concurrent scheduler).
 func (r Request) normalize() Request {
-	if r.Batch <= 0 {
+	// Only an omitted batch defaults; a negative batch is preserved so
+	// validation can reject it (clamping would silently answer for batch 1).
+	if r.Batch == 0 {
 		r.Batch = 1
 	}
 	if r.Target == "" {
@@ -147,9 +149,11 @@ type Metrics struct {
 	// (a subset of Done).
 	PlateauStopped int `json:"plateau_stopped"`
 	// RegistryHits / RegistryMisses count resolve-first outcomes across the
-	// HTTP surface and finished jobs.
+	// HTTP surface and finished jobs; RegistryErrors counts lookups the
+	// registry storage failed to serve (neither hit nor miss).
 	RegistryHits   int `json:"registry_hits"`
 	RegistryMisses int `json:"registry_misses"`
+	RegistryErrors int `json:"registry_errors"`
 	// TrialsMeasured sums the measured trials of finished jobs — the compute
 	// the service actually spent.
 	TrialsMeasured int `json:"trials_measured"`
@@ -448,6 +452,13 @@ func (q *Queue) CountRegistryHit() {
 func (q *Queue) CountRegistryMiss() {
 	q.mu.Lock()
 	q.m.RegistryMisses++
+	q.mu.Unlock()
+}
+
+// CountRegistryError counts a lookup the registry storage failed to serve.
+func (q *Queue) CountRegistryError() {
+	q.mu.Lock()
+	q.m.RegistryErrors++
 	q.mu.Unlock()
 }
 

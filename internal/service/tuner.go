@@ -50,6 +50,12 @@ func resolveRequest(req Request) (w harl.Workload, tgt harl.Target, isNet bool, 
 	if _, err := harl.SchedulerByName(req.Scheduler); err != nil {
 		return w, tgt, false, err
 	}
+	if req.Batch < 1 {
+		// normalize only defaults an omitted (zero) batch; an explicit
+		// negative one is meaningless and must not be clamped into answering
+		// for batch 1.
+		return w, tgt, false, fmt.Errorf("service: batch must be >= 1, got %d", req.Batch)
+	}
 	if req.Trials < 0 {
 		// Negative trials is the library's pure-cache-replay mode, which
 		// needs a resume log the service does not expose; such a job would

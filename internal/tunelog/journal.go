@@ -40,8 +40,18 @@ func OpenJournalWait(path string) (*Journal, error) {
 	return openJournal(path, lockFileWait)
 }
 
+// OpenJournalUnlocked opens a journal without taking an advisory lock of its
+// own, for callers that serialize writers externally. The sharded registry
+// needs this: compaction atomically replaces the journal file, and a flock
+// held on the replaced inode would no longer exclude anyone — so shard
+// writers lock a separate, never-renamed lock file (AcquireFileLock) and open
+// the journal itself unlocked.
+func OpenJournalUnlocked(path string) (*Journal, error) {
+	return openJournal(path, func(*os.File) error { return nil })
+}
+
 func openJournal(path string, lock func(*os.File) error) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("tunelog: open journal: %w", err)
 	}
@@ -49,7 +59,57 @@ func openJournal(path string, lock func(*os.File) error) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
+	if err := repairTornTail(f); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &Journal{w: f, c: f}, nil
+}
+
+// repairTornTail heals a journal whose last write was torn (crash or
+// disk-full mid-append): the file ends with a partial line and no trailing
+// newline. Because journals open O_APPEND, the next Append would concatenate
+// its record onto the torn tail, and the corrupt-line-tolerant loader would
+// then drop the merged line — silently losing a valid record. Writing one
+// repair newline confines the damage to the already-lost partial line. Runs
+// after the advisory lock is held (or under the caller's external lock), so
+// it never races another writer.
+func repairTornTail(f *os.File) error {
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("tunelog: stat journal: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	var tail [1]byte
+	if _, err := f.ReadAt(tail[:], st.Size()-1); err != nil {
+		return fmt.Errorf("tunelog: read journal tail: %w", err)
+	}
+	if tail[0] == '\n' {
+		return nil
+	}
+	if _, err := f.Write([]byte{'\n'}); err != nil {
+		return fmt.Errorf("tunelog: repair torn journal tail: %w", err)
+	}
+	return nil
+}
+
+// AcquireFileLock takes a blocking exclusive advisory lock on path (created
+// if missing), returning a closer that releases it. This is the external
+// serialization primitive for writers whose data file cannot carry the lock
+// itself — the sharded registry locks shards/<xx>/lock so compaction can
+// rename-replace the shard journal without orphaning waiters' flocks.
+func AcquireFileLock(path string) (io.Closer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tunelog: open lock file: %w", err)
+	}
+	if err := lockFileWait(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 // NewJournal wraps an arbitrary writer (tests, in-memory journals).

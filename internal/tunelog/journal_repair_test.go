@@ -1,0 +1,138 @@
+package tunelog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func repairTestRecord(trial int, exec float64) Record {
+	return Record{V: SchemaVersion, Workload: "w@repair", Target: "cpu", Scheduler: "harl",
+		Steps: "steps", ExecSec: exec, Trial: trial, Seed: 1}
+}
+
+// TestOpenRepairsTornTail is the torn-write regression test: a crash (or
+// disk-full) mid-append leaves a partial line with no trailing newline.
+// Pre-fix, the next O_APPEND writer concatenated its record onto the torn
+// tail, and the corrupt-line-tolerant loader dropped the merged line —
+// silently losing a VALID record, not just the already-lost partial one.
+// Opening a journal must confine the damage by terminating the torn line.
+func TestOpenRepairsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	jr, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recA := repairTestRecord(1, 2e-4)
+	if err := jr.Append(recA); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: a partial record with no trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"workload":"w@repair","tar`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The next writer appends a valid record through a fresh open.
+	jr2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB := repairTestRecord(2, 1e-4)
+	if err := jr2.Append(recB); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != 2 {
+		t.Fatalf("loaded %d records, want both valid records to survive the torn tail", db.Size())
+	}
+	if db.Skipped() != 1 {
+		t.Fatalf("skipped %d lines, want exactly the torn partial line", db.Skipped())
+	}
+	if best, ok := db.Best(recA.Workload, recA.Target); !ok || best != recB {
+		t.Fatalf("best = %+v, %v; want the post-repair record", best, ok)
+	}
+}
+
+// TestOpenLeavesHealthyJournalUntouched: the repair path must not write to a
+// journal that already ends cleanly.
+func TestOpenLeavesHealthyJournalUntouched(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	jr, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Append(repairTestRecord(1, 2e-4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("opening a healthy journal changed its bytes")
+	}
+}
+
+// TestAcquireFileLockExcludesSecondHolder: the external lock primitive the
+// sharded registry serializes shard writers with must actually exclude.
+func TestAcquireFileLockExcludesSecondHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lock")
+	l1, err := AcquireFileLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		l2, err := AcquireFileLock(path)
+		if err != nil {
+			t.Error(err)
+			close(acquired)
+			return
+		}
+		close(acquired)
+		l2.Close()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second AcquireFileLock succeeded while the first was held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second AcquireFileLock never proceeded after release")
+	}
+}
