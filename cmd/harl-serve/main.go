@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +55,7 @@ func main() {
 	workers := flag.Int("workers", 2, "queue workers draining tuning jobs concurrently")
 	plateauWindow := flag.Int("plateau-window", 6, "default plateau early stop: end a job's search when its best-so-far trajectory improves by no more than -plateau-improve across this many progress events (0 disables; requests override with plateau_window)")
 	plateauImprove := flag.Float64("plateau-improve", 0.005, "default minimum relative improvement (0.005 = 0.5%) over the plateau window to keep searching")
+	fleetList := flag.String("fleet", "", "comma-separated harl-worker endpoints shared by every tuning session (bit-identical to in-process measurement; dead workers fall back in-process); counters at /metrics as harl_fleet_*")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -86,11 +88,26 @@ func main() {
 		fmt.Printf("harl-serve: imported %s (%d improvements, %d keys)\n", *importLog, improved, reg.Len())
 	}
 
+	var fleetPool *harl.Fleet
+	if *fleetList != "" {
+		fleetPool, err = harl.DialFleet(strings.Split(*fleetList, ","))
+		if err != nil {
+			fatal(err)
+		}
+		s := fleetPool.Stats()
+		fmt.Printf("harl-serve: fleet %s (%d/%d workers healthy)\n", *fleetList, s.Healthy, s.Workers)
+	}
+
 	queue := service.NewQueue(&service.HarlTuner{
 		Registry:       reg,
 		DefaultPlateau: harl.Plateau{Window: *plateauWindow, MinImprovement: *plateauImprove},
+		Fleet:          fleetPool,
 	}, *workers)
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(queue, reg)}
+	handler := service.NewServer(queue, reg)
+	if fleetPool != nil {
+		handler.SetFleet(fleetPool)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -117,6 +134,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "harl-serve: http shutdown:", err)
 	}
 	queue.Shutdown()
+	if fleetPool != nil {
+		fleetPool.Close()
+	}
 	if err := reg.Close(); err != nil {
 		fatal(err)
 	}

@@ -56,6 +56,7 @@ func main() {
 	modelOut := flag.String("model-out", "", "save the trained cost-model checkpoint after tuning")
 	registryDir := flag.String("registry", "", "best-schedule registry directory shared with harl-serve: resolve before tuning (a hit costs 0 trials) and publish the best after")
 	registryLayout := flag.String("registry-layout", "auto", "registry storage layout: auto (detect), single (one journal) or sharded (256 fingerprint-sharded journals; migrates a single-file registry in place)")
+	fleetList := flag.String("fleet", "", "comma-separated harl-worker endpoints to fan measurement batches out to (results are byte-identical to in-process measurement; a dead worker falls back in-process)")
 	progress := flag.Bool("progress", false, "stream one progress line per committed round/wave to stderr — the same event stream harl-serve serves over SSE")
 	plateauWindow := flag.Int("plateau-window", 0, "stop the search early when the best-so-far trajectory improves by no more than -plateau-improve across this many progress events (0 disables)")
 	plateauImprove := flag.Float64("plateau-improve", 0, "minimum relative improvement (0.01 = 1%) over the plateau window to keep searching")
@@ -96,6 +97,20 @@ func main() {
 		opts.Registry = reg
 	} else if *registryLayout != "auto" {
 		fatal(fmt.Errorf("-registry-layout needs -registry"))
+	}
+	var fleetPool *harl.Fleet
+	if *fleetList != "" {
+		fleetPool, err = harl.DialFleet(strings.Split(*fleetList, ","))
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			fleetPool.Close()
+			s := fleetPool.Stats()
+			fmt.Fprintf(os.Stderr, "fleet: %d/%d workers healthy, %d batches (%d trials) dispatched, %d retries, %d ejections, %d fallbacks\n",
+				s.Healthy, s.Workers, s.BatchesDispatched, s.TrialsDispatched, s.Retries, s.Ejections, s.Fallbacks)
+		}()
+		opts.FleetPool = fleetPool
 	}
 
 	if *network != "" {

@@ -1,0 +1,171 @@
+package harl
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harl/internal/fleet"
+)
+
+// tuneToJournal runs one operator tune with the given extra options and
+// returns the journal bytes.
+func tuneToJournal(t *testing.T, path string, mutate func(*Options)) Result {
+	t.Helper()
+	o := Options{Scheduler: "harl", Trials: 48, Seed: 3, Workers: 2, RecordLog: path}
+	if mutate != nil {
+		mutate(&o)
+	}
+	res, err := TuneOperator(GEMM(64, 64, 64, 1), CPU(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func readJournal(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatalf("journal %s is empty", path)
+	}
+	return data
+}
+
+// TestFleetJournalByteIdentity is the acceptance pin for the measurement
+// fleet: the same tune measured through a harl-worker produces a tuning
+// journal byte-identical to the in-process run, and identical results.
+func TestFleetJournalByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	localLog := filepath.Join(dir, "local.jsonl")
+	fleetLog := filepath.Join(dir, "fleet.jsonl")
+
+	localRes := tuneToJournal(t, localLog, nil)
+
+	wk, err := fleet.NewWorker(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(wk.Handler())
+	defer srv.Close()
+	fleetRes := tuneToJournal(t, fleetLog, func(o *Options) { o.Fleet = []string{srv.URL} })
+
+	if wk.Batches() == 0 || wk.Trials() == 0 {
+		t.Fatalf("fleet run measured nothing remotely (batches=%d trials=%d)", wk.Batches(), wk.Trials())
+	}
+	if localRes.ExecSeconds != fleetRes.ExecSeconds || localRes.BestSchedule != fleetRes.BestSchedule {
+		t.Fatalf("results diverged: local %v %q, fleet %v %q",
+			localRes.ExecSeconds, localRes.BestSchedule, fleetRes.ExecSeconds, fleetRes.BestSchedule)
+	}
+	if !bytes.Equal(readJournal(t, localLog), readJournal(t, fleetLog)) {
+		t.Fatal("fleet journal differs from in-process journal")
+	}
+}
+
+// TestFleetWorkerKilledMidRun: a worker that dies partway through the run
+// (here: starts refusing every request, exactly what a kill -9 looks like to
+// the coordinator) must not change the journal by a byte — the pool ejects
+// it and the reserved-seq fallback recomputes the same values in-process.
+func TestFleetWorkerKilledMidRun(t *testing.T) {
+	dir := t.TempDir()
+	localLog := filepath.Join(dir, "local.jsonl")
+	fleetLog := filepath.Join(dir, "fleet.jsonl")
+
+	localRes := tuneToJournal(t, localLog, nil)
+
+	wk, err := fleet.NewWorker(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var measured atomic.Int64
+	var killed atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if killed.Load() {
+			// A dead process answers nothing; dropping the connection is the
+			// closest httptest equivalent.
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			http.Error(w, "dead", http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Path == "/v1/measure" && measured.Add(1) == 2 {
+			killed.Store(true)
+		}
+		wk.Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	pool, err := DialFleetOptions([]string{srv.URL}, FleetOptions{
+		Retries:        -1,
+		HealthInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	fleetRes := tuneToJournal(t, fleetLog, func(o *Options) { o.FleetPool = pool })
+
+	st := pool.Stats()
+	if st.BatchesDispatched == 0 {
+		t.Fatalf("no batches reached the worker before the kill: %+v", st)
+	}
+	if st.Fallbacks == 0 {
+		t.Fatalf("no in-process fallback after the kill: %+v", st)
+	}
+	if localRes.ExecSeconds != fleetRes.ExecSeconds || localRes.BestSchedule != fleetRes.BestSchedule {
+		t.Fatalf("results diverged after mid-run kill: local %v %q, fleet %v %q",
+			localRes.ExecSeconds, localRes.BestSchedule, fleetRes.ExecSeconds, fleetRes.BestSchedule)
+	}
+	if !bytes.Equal(readJournal(t, localLog), readJournal(t, fleetLog)) {
+		t.Fatal("journal changed after mid-run worker death")
+	}
+	if st2 := pool.Stats(); st2.Ejections == 0 {
+		t.Fatalf("dead worker never ejected: %+v", st2)
+	}
+}
+
+// TestFleetNetworkTune: the fleet seam reaches every task of a network run
+// (the SeedCostModels path), on both the serial and the parallel scheduler.
+func TestFleetNetworkTune(t *testing.T) {
+	wk, err := fleet.NewWorker(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(wk.Handler())
+	defer srv.Close()
+
+	for _, workers := range []int{0, 2} {
+		dir := t.TempDir()
+		localLog := filepath.Join(dir, "local.jsonl")
+		fleetLog := filepath.Join(dir, "fleet.jsonl")
+		o := Options{Scheduler: "harl", Trials: 330, Seed: 3, Workers: workers, RecordLog: localLog}
+		if _, err := TuneNetwork("bert", 1, CPU(), o); err != nil {
+			t.Fatal(err)
+		}
+		before := wk.Batches()
+		o.RecordLog = fleetLog
+		o.Fleet = []string{srv.URL}
+		if _, err := TuneNetwork("bert", 1, CPU(), o); err != nil {
+			t.Fatal(err)
+		}
+		if wk.Batches() == before {
+			t.Fatalf("workers=%d: network run dispatched nothing to the fleet", workers)
+		}
+		if !bytes.Equal(readJournal(t, localLog), readJournal(t, fleetLog)) {
+			t.Fatalf("workers=%d: fleet network journal differs from in-process", workers)
+		}
+	}
+}

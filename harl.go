@@ -31,6 +31,7 @@ import (
 	"harl/internal/core"
 	"harl/internal/costmodel"
 	"harl/internal/experiments"
+	"harl/internal/fleet"
 	"harl/internal/hardware"
 	"harl/internal/pretrain"
 	"harl/internal/registry"
@@ -255,6 +256,22 @@ type Options struct {
 	// convergence trajectory flatlines (see Plateau): the session takes the
 	// checkpoint-on-cancel path and the result reports PlateauStopped.
 	Plateau Plateau
+	// Fleet, when non-empty, lists harl-worker endpoints ("host:port" or
+	// full URLs) and fans the run's hardware-measurement batches out to
+	// them. Remote measurement reproduces the in-process values bit-exactly
+	// (the noise function is pure in schedule, repetition index and noise
+	// seed, and all commit-order bookkeeping stays local), so journals and
+	// results are byte-identical to an in-process run — a dead or slow
+	// worker costs throughput, never correctness: failed batches are retried
+	// on the rotation and finally measured in-process. The run dials its own
+	// pool and closes it when done; a daemon serving many runs should share
+	// one pool via FleetPool instead.
+	Fleet []string
+	// FleetPool, when non-nil, attaches an already-dialed shared fleet (see
+	// DialFleet) — one health-checked worker pool serving every run, which
+	// is how harl-serve wires it. Takes precedence over Fleet. The caller
+	// keeps ownership: Close is never called by the run.
+	FleetPool *Fleet
 }
 
 func (o Options) withDefaults() Options {
@@ -369,6 +386,20 @@ func (o Options) hooks() (core.TuneHooks, func() error, error) {
 		}
 		h.Journal = jr
 		closeFn = jr.Close
+	}
+	if o.FleetPool != nil {
+		h.Evaluators = o.FleetPool.pool
+	} else if len(o.Fleet) > 0 {
+		p, err := fleet.NewPool(o.Fleet, fleet.Config{})
+		if err != nil {
+			return h, closeFn, err
+		}
+		h.Evaluators = p
+		inner := closeFn
+		closeFn = func() error {
+			p.Close()
+			return inner()
+		}
 	}
 	return h, closeFn, nil
 }
@@ -596,6 +627,91 @@ func (r *Registry) Stats() RegistryStats {
 // first. Publishes hold their file lock only for the duration of each
 // append, so Close is cheap and never blocks on other processes.
 func (r *Registry) Close() error { return r.reg.Close() }
+
+// Fleet is an open connection to a pool of harl-worker measurement daemons:
+// the distributed-measurement layer. Attach one to a run with
+// Options.FleetPool (a daemon shares one Fleet across every run it serves)
+// or let Options.Fleet dial a private one per run. The pool health-checks
+// its workers in the background, ejects ones that keep failing, readmits
+// them when they recover, and routes each task only to workers that serve
+// its target platform — a heterogeneous fleet can hold cpu-only and
+// gpu-only workers side by side. A Fleet with every worker down still
+// serves: batches fall back to in-process measurement with identical
+// results.
+type Fleet struct {
+	pool *fleet.Pool
+}
+
+// FleetOptions tunes fleet dispatch; the zero value selects production
+// defaults (30s batch timeout, 2 retries, 2s health-check period).
+type FleetOptions struct {
+	// BatchTimeout bounds one measure-batch RPC.
+	BatchTimeout time.Duration
+	// Retries is the re-dispatch bound per batch before falling back to
+	// in-process measurement (0 default; negative disables retries).
+	Retries int
+	// HealthInterval is the worker health-check period.
+	HealthInterval time.Duration
+}
+
+// DialFleet opens a fleet over the worker endpoints with default options.
+// Endpoints are "host:port" or full URLs. Dialing succeeds even while every
+// worker is unreachable (they are probed and admitted in the background);
+// it fails only on an empty endpoint list.
+func DialFleet(endpoints []string) (*Fleet, error) {
+	return DialFleetOptions(endpoints, FleetOptions{})
+}
+
+// DialFleetOptions is DialFleet with explicit dispatch knobs.
+func DialFleetOptions(endpoints []string, o FleetOptions) (*Fleet, error) {
+	p, err := fleet.NewPool(endpoints, fleet.Config{
+		Timeout:        o.BatchTimeout,
+		Retries:        o.Retries,
+		HealthInterval: o.HealthInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{pool: p}, nil
+}
+
+// Close stops the fleet's health-check loop. Stats stay readable.
+func (f *Fleet) Close() { f.pool.Close() }
+
+// FleetStats is a snapshot of a fleet's dispatch counters — the numbers
+// behind the harl_fleet_* series at harl-serve's /metrics.
+type FleetStats struct {
+	// Workers is the registered worker count; Healthy how many are in
+	// rotation right now.
+	Workers int
+	Healthy int
+	// BatchesDispatched counts measure batches completed remotely, and
+	// TrialsDispatched the individual trials inside them.
+	BatchesDispatched int64
+	TrialsDispatched  int64
+	// Retries counts batch re-dispatch attempts, Ejections workers dropped
+	// from rotation, Readmissions ejected workers probed back in, and
+	// Fallbacks batches recovered by in-process measurement.
+	Retries      int64
+	Ejections    int64
+	Readmissions int64
+	Fallbacks    int64
+}
+
+// Stats snapshots the fleet's counters.
+func (f *Fleet) Stats() FleetStats {
+	s := f.pool.Stats()
+	return FleetStats{
+		Workers:           s.Workers,
+		Healthy:           s.Healthy,
+		BatchesDispatched: s.BatchesDispatched,
+		TrialsDispatched:  s.TrialsDispatched,
+		Retries:           s.Retries,
+		Ejections:         s.Ejections,
+		Readmissions:      s.Readmissions,
+		Fallbacks:         s.Fallbacks,
+	}
+}
 
 // publishTasks publishes every tuned task's best into the registry. Warm- or
 // cache-seeded bests re-publish as no-ops (the registry keeps incumbents on

@@ -162,15 +162,33 @@ type TuneHooks struct {
 	// at round/wave barriers, in commit order — worker-invariant like the
 	// journal. It runs synchronously on the tuning goroutine.
 	Progress func(search.Progress)
+	// Evaluators, when non-nil, supplies each task's remote batch evaluator
+	// (the measurement-fleet client; see internal/fleet.Pool). A nil return
+	// for a given task means that task measures in-process. Remote
+	// evaluation reproduces the in-process values bit-exactly, so the hook
+	// changes where measurement runs, never what the journal records.
+	Evaluators EvaluatorProvider
 }
 
-// seedCostModel applies the hooks' model-in and pretrain stages to one task
-// (in that order: a loaded checkpoint first, then the journal replay on
-// top). Knowledge only transfers between structurally compatible workloads:
+// EvaluatorProvider hands out per-task remote measurement clients. It is an
+// interface (satisfied by fleet.Pool) so core does not depend on the fleet's
+// HTTP machinery.
+type EvaluatorProvider interface {
+	// EvaluatorFor returns the task's remote evaluator, or nil (a true
+	// interface nil) when the task should measure in-process.
+	EvaluatorFor(t *search.Task) search.BatchEvaluator
+}
+
+// seedCostModel applies the hooks' per-task stages: the remote measurement
+// evaluator if a fleet is attached, then model-in and pretrain (in that
+// order: a loaded checkpoint first, then the journal replay on top). Knowledge only transfers between structurally compatible workloads:
 // a model whose feature dimension differs from the task's (axis counts
 // differ across workload structures) is not installed, and the task keeps
 // its own cold model.
 func seedCostModel(t *search.Task, hooks TuneHooks) {
+	if hooks.Evaluators != nil {
+		t.Remote = hooks.Evaluators.EvaluatorFor(t)
+	}
 	if hooks.Model != nil {
 		if d := hooks.Model.Dim(); d == 0 || d == t.FeatureDim() {
 			t.SetCostModel(hooks.Model.Clone())

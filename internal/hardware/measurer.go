@@ -91,19 +91,33 @@ func (m *Measurer) ReserveSeq(key uint64) uint64 {
 // number of goroutines may evaluate trials concurrently; the result depends
 // only on (schedule, seq, measurer seed).
 func (m *Measurer) NoisyExec(s *schedule.Schedule, seq uint64) float64 {
-	exec := m.Sim.Exec(s)
-	noisy := exec * (1 + m.Sim.Plat.NoiseAmp*m.noise(s.Key(), seq))
+	return NoisyExecSeeded(m.Sim, s, m.noiseSeed, seq)
+}
+
+// NoisyExecSeeded is the measurement function itself, factored free of the
+// Measurer's bookkeeping: the noisy execution time of one trial as a pure
+// function of (simulator, schedule, noise seed, repetition index). It is the
+// quantity a remote measurement worker reproduces bit-exactly from the wire
+// protocol's (subgraph, target, seed, steps, seq) — the foundation of the
+// fleet's byte-identical-journal contract (see internal/fleet).
+func NoisyExecSeeded(sim *Simulator, s *schedule.Schedule, seed, seq uint64) float64 {
+	exec := sim.Exec(s)
+	noisy := exec * (1 + sim.Plat.NoiseAmp*noiseAt(s.Key(), seed, seq))
 	if noisy < 1e-8 {
 		noisy = 1e-8
 	}
 	return noisy
 }
 
-// noise maps (key, seq, seed) to a standard normal variate via Box-Muller on
-// two hash-derived uniforms.
-func (m *Measurer) noise(key, seq uint64) float64 {
-	u1 := xrand.HashUnit(key, m.noiseSeed, seq, 0x6d656173757265)
-	u2 := xrand.HashUnit(key, m.noiseSeed, seq, 0x6e6f697365)
+// NoiseSeed returns the measurer's noise seed — shipped to remote measurement
+// workers so they draw the same per-trial noise this measurer would.
+func (m *Measurer) NoiseSeed() uint64 { return m.noiseSeed }
+
+// noiseAt maps (key, seed, seq) to a standard normal variate via Box-Muller
+// on two hash-derived uniforms.
+func noiseAt(key, seed, seq uint64) float64 {
+	u1 := xrand.HashUnit(key, seed, seq, 0x6d656173757265)
+	u2 := xrand.HashUnit(key, seed, seq, 0x6e6f697365)
 	if u1 < 1e-300 {
 		u1 = 1e-300
 	}

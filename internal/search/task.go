@@ -45,6 +45,17 @@ type Task struct {
 	// results (see ParallelPool).
 	Pool *ParallelPool
 
+	// Remote, when non-nil, evaluates measurement batches out of process —
+	// the RPC seam of the distributed measurement fleet (internal/fleet).
+	// Remote evaluation computes exactly the values the local path would
+	// (measured time is a pure function of schedule, repetition index and
+	// the measurer's noise seed), and all order-sensitive bookkeeping stays
+	// local, so journals are byte-identical whether a batch was measured
+	// in-process, on any remote worker, or recovered through the fallback.
+	// An EvalBatch error falls back to the in-process Pool path silently:
+	// fleet loss degrades throughput, never correctness.
+	Remote BatchEvaluator
+
 	// OnMeasure, when set, receives every committed measurement — the
 	// schedule, its noisy execution time and the task-local 1-based trial
 	// index — in commit order. MeasureBatch commits serially in batch input
@@ -79,6 +90,24 @@ type Task struct {
 	Pretrained bool
 
 	measured map[uint64]bool
+}
+
+// BatchEvaluator evaluates one measurement batch, possibly out of process: it
+// returns the noisy execution times of the schedules at the given repetition
+// indices, aligned with the input. Implementations MUST return exactly the
+// values hardware.NoisyExecSeeded computes for the task's simulator and noise
+// seed — measured time is a pure function of (schedule, seq, seed), which is
+// what lets the fleet keep tuning journals byte-identical regardless of which
+// worker measured what. An error (or a misaligned result) makes the caller
+// fall back to in-process evaluation of the same (schedule, seq) pairs.
+type BatchEvaluator interface {
+	EvalBatch(scheds []*schedule.Schedule, seqs []uint64) ([]float64, error)
+}
+
+// measureJob pairs a batch index with its reserved noise-repetition index.
+type measureJob struct {
+	idx int
+	seq uint64
 }
 
 // NewTask builds a task with a fresh cost model and a split RNG stream. The
@@ -124,23 +153,21 @@ func (t *Task) Seen(s *schedule.Schedule) bool { return t.measured[s.Key()] }
 // result is byte-identical for every worker count.
 func (t *Task) MeasureBatch(scheds []*schedule.Schedule) []float64 {
 	out := make([]float64, len(scheds))
-	type job struct {
-		idx int
-		seq uint64
-	}
-	var jobs []job
+	var jobs []measureJob
 	for i, s := range scheds {
 		if s == nil || t.measured[s.Key()] {
 			out[i] = math.NaN()
 			continue
 		}
 		t.measured[s.Key()] = true
-		jobs = append(jobs, job{idx: i, seq: t.Meas.ReserveSeq(s.Key())})
+		jobs = append(jobs, measureJob{idx: i, seq: t.Meas.ReserveSeq(s.Key())})
 	}
-	t.Pool.Run(len(jobs), func(j int) {
-		jb := jobs[j]
-		out[jb.idx] = t.Meas.NoisyExec(scheds[jb.idx], jb.seq)
-	})
+	if !t.evalRemote(scheds, jobs, out) {
+		t.Pool.Run(len(jobs), func(j int) {
+			jb := jobs[j]
+			out[jb.idx] = t.Meas.NoisyExec(scheds[jb.idx], jb.seq)
+		})
+	}
 	for _, jb := range jobs {
 		s, exec := scheds[jb.idx], out[jb.idx]
 		t.Meas.Commit(exec)
@@ -160,6 +187,30 @@ func (t *Task) MeasureBatch(scheds []*schedule.Schedule) []float64 {
 		t.refitCost()
 	}
 	return out
+}
+
+// evalRemote dispatches the batch's fresh trials to the remote evaluator,
+// reporting whether it produced a usable result. Reservation order (the seqs)
+// was fixed by the caller before dispatch, so a failed remote attempt leaves
+// the local fallback computing exactly the same values.
+func (t *Task) evalRemote(scheds []*schedule.Schedule, jobs []measureJob, out []float64) bool {
+	if t.Remote == nil || len(jobs) == 0 {
+		return false
+	}
+	batch := make([]*schedule.Schedule, len(jobs))
+	seqs := make([]uint64, len(jobs))
+	for k, jb := range jobs {
+		batch[k] = scheds[jb.idx]
+		seqs[k] = jb.seq
+	}
+	res, err := t.Remote.EvalBatch(batch, seqs)
+	if err != nil || len(res) != len(jobs) {
+		return false
+	}
+	for k, jb := range jobs {
+		out[jb.idx] = res[k]
+	}
+	return true
 }
 
 // refitCost rebuilds the cost model and counts the refit.

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"harl"
+	"harl/internal/wire"
 )
 
 // Server is the HTTP surface of the tuning service:
@@ -24,11 +25,15 @@ import (
 //	DELETE /v1/jobs/{id} cancel a queued or running job (the session
 //	                     checkpoints and keeps its partial best)
 //	GET    /healthz      liveness
-//	GET    /metrics      queue depth, hit rate, trial counters (Prometheus
-//	                     text format)
+//	GET    /metrics      queue depth, hit rate, trial and fleet counters
+//	                     (Prometheus text format)
+//
+// Responses are the named wire types of this package (see wire.go); every
+// error response is the v1 envelope (ErrorBody) with a stable machine code.
 type Server struct {
 	queue    *Queue
 	registry *harl.Registry
+	fleet    *harl.Fleet
 	mux      *http.ServeMux
 }
 
@@ -46,30 +51,30 @@ func NewServer(q *Queue, reg *harl.Registry) *Server {
 	return s
 }
 
+// SetFleet attaches the measurement fleet whose dispatch counters /metrics
+// exports. Call before serving; the server only reads stats from it (the
+// tuner holds its own reference for dispatch).
+func (s *Server) SetFleet(f *harl.Fleet) { s.fleet = f }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// writeJSON and writeError delegate to the shared v1 writers: marshal-first
+// (so an unencodable value degrades to a contract-conforming internal-error
+// envelope, never a truncated or ad-hoc body), envelope-always for errors.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	// Marshal before writing the header: an unencodable value (which would
-	// otherwise truncate the body mid-status) becomes an explicit 500.
-	data, err := json.MarshalIndent(v, "", " ")
-	if err != nil {
-		http.Error(w, `{"error":"internal: response not JSON-encodable"}`, http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(append(data, '\n'))
+	wire.WriteJSON(w, status, v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func writeError(w http.ResponseWriter, status int, code ErrorCode, err error) {
+	wire.WriteError(w, status, code, "%s", err.Error())
 }
 
 // registryIOError marks a registry storage failure, as opposed to an invalid
-// request: handlers answer 500 and bump the registry-error counter, because a
-// miss fabricated from an unreadable registry would silently burn a full
-// search (or report a schedule absent that is durably there).
+// request: handlers answer 500 registry_io and bump the registry-error
+// counter, because a miss fabricated from an unreadable registry would
+// silently burn a full search (or report a schedule absent that is durably
+// there).
 type registryIOError struct{ err error }
 
 func (e registryIOError) Error() string { return e.err.Error() }
@@ -101,53 +106,22 @@ func (s *Server) lookup(req Request) (harl.SavedSchedule, bool, error) {
 }
 
 // writeLookupError maps a lookup failure onto the HTTP surface: storage
-// errors are 500s and counted, anything else is the client's bad request.
+// errors are 500 registry_io and counted, anything else is the client's bad
+// request.
 func (s *Server) writeLookupError(w http.ResponseWriter, err error) {
 	var ioe registryIOError
 	if errors.As(err, &ioe) {
 		s.queue.CountRegistryError()
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeRegistryIO, err)
 		return
 	}
-	writeError(w, http.StatusBadRequest, err)
-}
-
-// scheduleResponse is the JSON shape of a registry hit.
-type scheduleResponse struct {
-	CacheHit     bool    `json:"cache_hit"`
-	Workload     string  `json:"workload"`
-	Target       string  `json:"target"`
-	Scheduler    string  `json:"scheduler"`
-	ExecSeconds  float64 `json:"exec_seconds"`
-	GFLOPS       float64 `json:"gflops"`
-	Trials       int     `json:"trials"`
-	BestSchedule string  `json:"best_schedule"`
-	Steps        string  `json:"steps"`
-}
-
-func hitResponse(hit harl.SavedSchedule) scheduleResponse {
-	return scheduleResponse{
-		CacheHit:    true,
-		Workload:    hit.Record.Workload,
-		Target:      hit.Record.Target,
-		Scheduler:   hit.Record.Scheduler,
-		ExecSeconds: hit.ExecSeconds,
-		GFLOPS:      hit.GFLOPS,
-		// Trials is the stored record's task-local trial index — the search
-		// depth at which the cached schedule was measured (for records
-		// published by finished sessions, the session's total trial count) —
-		// not what this request spent: a hit costs zero new measurements by
-		// definition.
-		Trials:       hit.Record.Trial,
-		BestSchedule: hit.Schedule,
-		Steps:        hit.Record.Steps,
-	}
+	writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 }
 
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("service: bad request body: %w", err))
 		return
 	}
 	req = req.normalize()
@@ -168,18 +142,22 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	// fully populated here (a follow-up Get could already miss it).
 	job, coalesced, err := s.queue.Submit(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		if errors.Is(err, ErrShuttingDown) {
+			writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	if !coalesced {
 		s.queue.CountRegistryMiss()
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"job": job, "coalesced": coalesced})
+	writeJSON(w, http.StatusAccepted, TuneAccepted{Job: job, Coalesced: coalesced})
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if s.registry == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no registry configured"))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: no registry configured"))
 		return
 	}
 	q := r.URL.Query()
@@ -187,13 +165,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if b := q.Get("batch"); b != "" {
 		v, err := strconv.Atoi(b)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad batch %q", b))
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("service: bad batch %q", b))
 			return
 		}
 		if v < 1 {
 			// An explicit non-positive batch is the client's error; clamping it
 			// to 1 would answer a question the client never asked.
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch must be >= 1, got %d", v))
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("service: batch must be >= 1, got %d", v))
 			return
 		}
 		batch = v
@@ -206,7 +184,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		Scheduler: q.Get("scheduler"),
 	}.normalize()
 	if req.Op == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: schedule lookup needs op and shape query parameters"))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("service: schedule lookup needs op and shape query parameters"))
 		return
 	}
 	hit, ok, err := s.lookup(req)
@@ -216,7 +194,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ok {
 		s.queue.CountRegistryMiss()
-		writeJSON(w, http.StatusNotFound, map[string]any{"cache_hit": false, "error": "no schedule for this (workload, target, scheduler)"})
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: no schedule for this (workload, target, scheduler)"))
 		return
 	}
 	s.queue.CountRegistryHit()
@@ -224,13 +202,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.queue.Jobs()})
+	writeJSON(w, http.StatusOK, JobsList{Jobs: s.queue.Jobs()})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -247,12 +225,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	plog, ok := s.queue.Progress(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: no job %q", id))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: response writer cannot stream"))
+		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("service: response writer cannot stream"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -304,7 +282,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.queue.Cancel(id) {
-		writeError(w, http.StatusConflict, fmt.Errorf("service: job %q does not exist or already finished", id))
+		writeError(w, http.StatusConflict, CodeNotCancellable, fmt.Errorf("service: job %q does not exist or already finished", id))
 		return
 	}
 	job, _ := s.queue.Get(id)
@@ -316,10 +294,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.registry != nil {
 		keys = s.registry.Len()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"registry_keys": keys,
-		"metrics":       s.queue.Metrics(),
+	writeJSON(w, http.StatusOK, HealthBody{
+		Status:       "ok",
+		RegistryKeys: keys,
+		Metrics:      s.queue.Metrics(),
 	})
 }
 
@@ -357,6 +335,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE harl_registry_batched_records_total counter\nharl_registry_batched_records_total %d\n", rs.BatchedRecords)
 		fmt.Fprintf(w, "# TYPE harl_registry_compactions_total counter\nharl_registry_compactions_total %d\n", rs.Compactions)
 		fmt.Fprintf(w, "# TYPE harl_registry_resident_shards gauge\nharl_registry_resident_shards %d\n", rs.ResidentShards)
+	}
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		fmt.Fprintf(w, "# TYPE harl_fleet_workers gauge\nharl_fleet_workers %d\n", fs.Workers)
+		fmt.Fprintf(w, "# TYPE harl_fleet_workers_healthy gauge\nharl_fleet_workers_healthy %d\n", fs.Healthy)
+		fmt.Fprintf(w, "# TYPE harl_fleet_batches_dispatched_total counter\nharl_fleet_batches_dispatched_total %d\n", fs.BatchesDispatched)
+		fmt.Fprintf(w, "# TYPE harl_fleet_trials_dispatched_total counter\nharl_fleet_trials_dispatched_total %d\n", fs.TrialsDispatched)
+		fmt.Fprintf(w, "# TYPE harl_fleet_retries_total counter\nharl_fleet_retries_total %d\n", fs.Retries)
+		fmt.Fprintf(w, "# TYPE harl_fleet_ejections_total counter\nharl_fleet_ejections_total %d\n", fs.Ejections)
+		fmt.Fprintf(w, "# TYPE harl_fleet_readmissions_total counter\nharl_fleet_readmissions_total %d\n", fs.Readmissions)
+		fmt.Fprintf(w, "# TYPE harl_fleet_fallbacks_total counter\nharl_fleet_fallbacks_total %d\n", fs.Fallbacks)
 	}
 	fmt.Fprintf(w, "# TYPE harl_trials_measured_total counter\nharl_trials_measured_total %d\n", m.TrialsMeasured)
 }

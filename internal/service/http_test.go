@@ -220,7 +220,11 @@ func TestBadRequests(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("body %s: status %d, want 400 (%v)", body, resp.StatusCode, out)
 		}
-		if out["error"] == "" {
+		env, _ := out["error"].(map[string]any)
+		if code, _ := env["code"].(string); code != "invalid_request" {
+			t.Fatalf("body %s: error code %q, want invalid_request", body, code)
+		}
+		if msg, _ := env["message"].(string); msg == "" {
 			t.Fatalf("body %s: no error detail", body)
 		}
 	}

@@ -23,7 +23,11 @@ func TestScheduleRejectsNonPositiveBatch(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("batch=%s: status %d, want 400; body %v", batch, resp.StatusCode, out)
 		}
-		if msg, _ := out["error"].(string); !strings.Contains(msg, "batch") {
+		env, _ := out["error"].(map[string]any)
+		if code, _ := env["code"].(string); code != "invalid_request" {
+			t.Fatalf("batch=%s: error code %q, want invalid_request", batch, code)
+		}
+		if msg, _ := env["message"].(string); !strings.Contains(msg, "batch") {
 			t.Fatalf("batch=%s: error %q does not name the batch field", batch, msg)
 		}
 	}

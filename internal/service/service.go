@@ -10,11 +10,17 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"harl"
 )
+
+// ErrShuttingDown is returned by Submit once the queue has begun draining;
+// the HTTP layer maps it to 503 shutting_down (a retryable condition, unlike
+// a 400).
+var ErrShuttingDown = errors.New("service: queue is shut down")
 
 // JobState is the lifecycle of one tuning job.
 type JobState string
@@ -254,7 +260,7 @@ func (q *Queue) Submit(req Request) (Job, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return Job{}, false, fmt.Errorf("service: queue is shut down")
+		return Job{}, false, ErrShuttingDown
 	}
 	if j, ok := q.inflight[key]; ok {
 		j.Coalesced++

@@ -23,6 +23,12 @@ type HarlTuner struct {
 	// value disables it; a request can opt out of a configured default with
 	// plateau_window < 0, or override it with its own positive window.
 	DefaultPlateau harl.Plateau
+	// Fleet, when non-nil, is the shared measurement-worker pool every
+	// session dispatches its measure batches to (harl-serve -fleet). Remote
+	// measurement is bit-identical to in-process, so attaching a fleet never
+	// changes results — which is also why it is not part of the coalescing
+	// key.
+	Fleet *harl.Fleet
 }
 
 // plateau resolves a normalized request's effective early-stop policy
@@ -125,6 +131,7 @@ func (h *HarlTuner) Tune(ctx context.Context, req Request, progress func(harl.Pr
 		Registry:   h.Registry,
 		OnProgress: progress,
 		Plateau:    h.plateau(req),
+		FleetPool:  h.Fleet,
 	}
 	if isNet {
 		res, err := harl.TuneNetworkContext(ctx, req.Network, req.Batch, tgt, opts)
