@@ -56,6 +56,8 @@ func main() {
 	plateauWindow := flag.Int("plateau-window", 6, "default plateau early stop: end a job's search when its best-so-far trajectory improves by no more than -plateau-improve across this many progress events (0 disables; requests override with plateau_window)")
 	plateauImprove := flag.Float64("plateau-improve", 0.005, "default minimum relative improvement (0.005 = 0.5%) over the plateau window to keep searching")
 	fleetList := flag.String("fleet", "", "comma-separated harl-worker endpoints shared by every tuning session (bit-identical to in-process measurement; dead workers fall back in-process); counters at /metrics as harl_fleet_*")
+	transfer := flag.Bool("transfer", false, "cross-key transfer warm starts: a registry miss scans for a donor key (same workload on another target, or a compatible workload on the same target) instead of starting cold; counted at /metrics as harl_transfer_warmstarts_total")
+	adaptive := flag.Bool("adaptive", false, "adaptive measurement sampling: measure only cluster representatives of each candidate batch once the cost model earns trust, backfilling the rest from predictions; savings at /metrics as harl_measure_saved_total")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -102,6 +104,8 @@ func main() {
 		Registry:       reg,
 		DefaultPlateau: harl.Plateau{Window: *plateauWindow, MinImprovement: *plateauImprove},
 		Fleet:          fleetPool,
+		Transfer:       *transfer,
+		Adaptive:       harl.AdaptiveSampling{Enabled: *adaptive},
 	}, *workers)
 	handler := service.NewServer(queue, reg)
 	if fleetPool != nil {

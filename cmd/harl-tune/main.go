@@ -60,6 +60,8 @@ func main() {
 	progress := flag.Bool("progress", false, "stream one progress line per committed round/wave to stderr — the same event stream harl-serve serves over SSE")
 	plateauWindow := flag.Int("plateau-window", 0, "stop the search early when the best-so-far trajectory improves by no more than -plateau-improve across this many progress events (0 disables)")
 	plateauImprove := flag.Float64("plateau-improve", 0, "minimum relative improvement (0.01 = 1%) over the plateau window to keep searching")
+	transfer := flag.Bool("transfer", false, "cross-key transfer warm starts (requires -registry): when this key misses, scan the registry for a donor key — the same workload on another target, or a compatible workload on the same target — and seed the cost model and first candidate from it")
+	adaptive := flag.Bool("adaptive", false, "adaptive measurement sampling: once the cost model earns trust, measure only cluster representatives of each candidate batch and backfill the rest from predictions (results stay deterministic per worker count)")
 	flag.Parse()
 
 	// Validate every name-typed flag up front, so a typo exits non-zero with
@@ -77,9 +79,13 @@ func main() {
 	if *plateauImprove > 0 && *plateauWindow == 0 {
 		fatal(fmt.Errorf("-plateau-improve needs -plateau-window > 0 to take effect"))
 	}
+	if *transfer && *registryDir == "" {
+		fatal(fmt.Errorf("-transfer needs -registry (the donor scan reads it)"))
+	}
 	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed, Workers: *workers,
 		RecordLog: *logPath, ResumeFrom: *resume,
 		PretrainFrom: *pretrainLog, ModelIn: *modelIn, ModelOut: *modelOut,
+		Transfer: *transfer, AdaptiveSampling: harl.AdaptiveSampling{Enabled: *adaptive},
 		Plateau: harl.Plateau{Window: *plateauWindow, MinImprovement: *plateauImprove}}
 	if *progress {
 		opts.OnProgress = func(e harl.ProgressEvent) {
@@ -132,6 +138,12 @@ func main() {
 		if res.WarmStarted > 0 {
 			fmt.Printf("warm-started %d subgraph(s) from %s\n", res.WarmStarted, *resume)
 		}
+		if res.WarmTransfers > 0 {
+			fmt.Printf("transfer warm-started %d subgraph(s) from registry donors\n", res.WarmTransfers)
+		}
+		if res.MeasureSaved > 0 {
+			fmt.Printf("adaptive sampling: measured %d of %d trials (%d saved)\n", res.Measured, res.Trials, res.MeasureSaved)
+		}
 		fmt.Printf("cost model: %d training samples across %d subgraph models, %d refits, pretrained %d task(s)\n",
 			res.CostModelSamples, len(res.Breakdown), res.CostModelRefits, res.Pretrained)
 		if *modelOut != "" {
@@ -172,6 +184,12 @@ func main() {
 	}
 	if res.WarmStarted {
 		fmt.Printf("  warm-started from %s\n", *resume)
+	}
+	if res.WarmTransfer != "" {
+		fmt.Printf("  transfer warm start from donor %s\n", res.WarmTransfer)
+	}
+	if res.MeasureSaved > 0 {
+		fmt.Printf("  adaptive sampling: measured %d of %d trials (%d saved)\n", res.Measured, res.Trials, res.MeasureSaved)
 	}
 	fmt.Printf("  best program: %.4f ms (%.1f GFLOP/s)\n", res.ExecSeconds*1e3, res.GFLOPS)
 	fmt.Printf("  trials: %d, simulated search time: %.0f s\n", res.Trials, res.SearchSeconds)

@@ -272,6 +272,38 @@ type Options struct {
 	// is how harl-serve wires it. Takes precedence over Fleet. The caller
 	// keeps ownership: Close is never called by the run.
 	FleetPool *Fleet
+	// Transfer, when set (requires Registry), makes a registry miss cheap
+	// instead of cold: the run scans the registry for a donor key — the same
+	// workload on another target, or a structurally compatible workload on
+	// the same target — and seeds the session with a cost model fitted over
+	// the donor records plus the donor's best schedule as the first measured
+	// candidate. Donor selection is deterministic (pure over the sorted
+	// record set), so transfer preserves the worker-invariance contract. The
+	// chosen donor key is reported in Result.WarmTransfer. A run whose own
+	// key hits, or for which no compatible donor exists, is unaffected.
+	Transfer bool
+	// AdaptiveSampling, when enabled, thins hardware measurement inside each
+	// search round: the round's candidates are clustered in feature space
+	// (deterministically, seeded from the task RNG) and only cluster
+	// representatives are measured; the rest train the cost model from their
+	// representative's result and charge a trial without touching hardware.
+	// The measured fraction shrinks as the model's predicted-vs-measured
+	// error tightens, floored at MinBatch. Result.Trials keeps its budget
+	// meaning; Result.Measured / Result.MeasureSaved report the split.
+	AdaptiveSampling AdaptiveSampling
+}
+
+// AdaptiveSampling configures Options.AdaptiveSampling. Zero fields take
+// defaults (MinBatch 8, ErrWindow 32).
+type AdaptiveSampling struct {
+	// Enabled turns adaptive measurement sampling on.
+	Enabled bool
+	// MinBatch is the exploration floor: a round never measures fewer than
+	// this many representatives.
+	MinBatch int
+	// ErrWindow is how many recent predicted-vs-measured errors set the
+	// shrink factor; until it fills, every candidate is measured.
+	ErrWindow int
 }
 
 func (o Options) withDefaults() Options {
@@ -311,7 +343,14 @@ type Result struct {
 	// ExecSeconds is the (noise-free) execution time of the best program.
 	ExecSeconds float64
 	GFLOPS      float64
-	Trials      int
+	// Trials is the charged-trial count — the budget the search spent.
+	// Without adaptive sampling every charged trial is a measurement; with
+	// it, Measured carries the real hardware-measurement count and
+	// MeasureSaved the backfilled remainder (Trials = Measured +
+	// MeasureSaved).
+	Trials       int
+	Measured     int
+	MeasureSaved int
 	// SearchSeconds is the total simulated tuning time.
 	SearchSeconds float64
 	// BestSchedule describes the winning configuration.
@@ -321,6 +360,10 @@ type Result struct {
 	// WarmStarted reports whether a cached record from Options.ResumeFrom
 	// seeded the run.
 	WarmStarted bool
+	// WarmTransfer names the donor registry key ("workload@target") that
+	// warm-started the run via Options.Transfer; empty when no transfer
+	// happened (own-key hit, no compatible donor, or Transfer off).
+	WarmTransfer string
 	// CostModelSamples is the cost model's final training-set size and
 	// CostModelRefits its refit count — what the model knew by the end.
 	CostModelSamples int
@@ -386,6 +429,13 @@ func (o Options) hooks() (core.TuneHooks, func() error, error) {
 		}
 		h.Journal = jr
 		closeFn = jr.Close
+	}
+	if o.AdaptiveSampling.Enabled {
+		h.Sampling = search.SamplerConfig{
+			Enabled:   true,
+			MinBatch:  o.AdaptiveSampling.MinBatch,
+			ErrWindow: o.AdaptiveSampling.ErrWindow,
+		}
 	}
 	if o.FleetPool != nil {
 		h.Evaluators = o.FleetPool.pool
@@ -757,6 +807,9 @@ func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (
 	if err != nil {
 		return Result{}, err
 	}
+	if o.Transfer && o.Registry == nil {
+		return Result{}, fmt.Errorf("harl: Options.Transfer needs Options.Registry (the donor scan reads it)")
+	}
 	brokenRecord := false
 	if o.Registry != nil {
 		hit, ok, err := o.Registry.Lookup(w, t, o.Scheduler)
@@ -792,6 +845,9 @@ func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (
 	if err := checkPretrainMatches(hooks.Pretrain, o.PretrainFrom, []*texpr.Subgraph{w.sg}, t.plat); err != nil {
 		closeJournal()
 		return Result{}, err
+	}
+	if o.Transfer {
+		hooks.Transfer = &transferProvider{reg: o.Registry, target: t.plat.Name, scheduler: o.Scheduler}
 	}
 	sessCtx, progressHook, plateaued, stopPlateau := o.progressSession(ctx, []string{w.Name()})
 	defer stopPlateau()
@@ -835,9 +891,12 @@ func TuneOperatorContext(ctx context.Context, w Workload, t Target, o Options) (
 		ExecSeconds:      res.BestExec,
 		GFLOPS:           res.BestGFLOPS,
 		Trials:           res.Trials,
+		Measured:         res.Measured,
+		MeasureSaved:     res.MeasureSaved,
 		SearchSeconds:    res.CostSec,
 		BestLog:          append([]float64(nil), res.Task.BestLog...),
 		WarmStarted:      res.WarmStarted,
+		WarmTransfer:     res.WarmTransfer,
 		CostModelSamples: res.CostSamples,
 		CostModelRefits:  res.CostRefits,
 		Pretrained:       res.Pretrained,
@@ -866,12 +925,20 @@ type NetworkResult struct {
 	// communication overhead.
 	EstimatedSeconds float64
 	MeasuredSeconds  float64
-	Trials           int
-	SearchSeconds    float64
-	Breakdown        []SubgraphReport
+	// Trials is the charged-trial count across all subgraph tasks; Measured
+	// and MeasureSaved split it into real hardware measurements and
+	// adaptive-sampling backfills (see Result.Trials).
+	Trials        int
+	Measured      int
+	MeasureSaved  int
+	SearchSeconds float64
+	Breakdown     []SubgraphReport
 	// WarmStarted is the number of subgraph tasks seeded from
 	// Options.ResumeFrom's cached records.
 	WarmStarted int
+	// WarmTransfers is the number of subgraph tasks warm-started from a
+	// transfer donor key via Options.Transfer.
+	WarmTransfers int
 	// Pretrained is the number of subgraph tasks whose cost model carried
 	// offline knowledge (Options.PretrainFrom or Options.ModelIn) before the
 	// first round; CostModelSamples and CostModelRefits sum the per-task
@@ -966,9 +1033,15 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 	if _, _, err := core.EngineFactory(o.Scheduler); err != nil {
 		return NetworkResult{}, err
 	}
+	if o.Transfer && o.Registry == nil {
+		return NetworkResult{}, fmt.Errorf("harl: Options.Transfer needs Options.Registry (the donor scan reads it)")
+	}
 	hooks, closeJournal, err := o.hooks()
 	if err != nil {
 		return NetworkResult{}, err
+	}
+	if o.Transfer {
+		hooks.Transfer = &transferProvider{reg: o.Registry, target: t.plat.Name, scheduler: o.Scheduler}
 	}
 	if err := checkPretrainMatches(hooks.Pretrain, o.PretrainFrom, net.Subgraphs, t.plat); err != nil {
 		closeJournal()
@@ -1033,8 +1106,11 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 			EstimatedSeconds: pnt.EstimatedExec(),
 			MeasuredSeconds:  pnt.MeasuredExec(),
 			Trials:           pnt.Trials(),
+			Measured:         pnt.Measured(),
+			MeasureSaved:     pnt.MeasureSaved(),
 			SearchSeconds:    pnt.CostSec(),
 			WarmStarted:      warmed,
+			WarmTransfers:    warmTransferCount(pnt.MT.Tasks),
 			Pretrained:       pretrained,
 			CacheHits:        cacheHits,
 			Cancelled:        cancelled && !plateau,
@@ -1094,8 +1170,11 @@ func TuneNetworkContext(ctx context.Context, name string, batch int, t Target, o
 		EstimatedSeconds: nt.EstimatedExec(),
 		MeasuredSeconds:  nt.MeasuredExec(),
 		Trials:           nt.Trials(),
+		Measured:         nt.Measured(),
+		MeasureSaved:     nt.MeasureSaved(),
 		SearchSeconds:    nt.Meas.CostSec(),
 		WarmStarted:      warmed,
+		WarmTransfers:    warmTransferCount(nt.Tasks),
 		Pretrained:       pretrained,
 		CacheHits:        cacheHits,
 		Cancelled:        cancelled && !plateau,
@@ -1173,6 +1252,9 @@ func Experiments() []string {
 // together by either id.
 func RunExperiment(id string, c ExperimentConfig, w io.Writer) error {
 	cfg := c.resolve()
+	// Reset the measurement accounting so a following WriteBenchSummary
+	// reports only this experiment's runs.
+	experiments.ResetObservations()
 	switch id {
 	case "fig1a":
 		experiments.GreedyAllocation(cfg, w)
@@ -1289,6 +1371,17 @@ func costModelTotals(tasks []*search.Task) (samples, refits int) {
 		refits += t.CostRefits
 	}
 	return samples, refits
+}
+
+// warmTransferCount counts the tasks a transfer donor warm-started.
+func warmTransferCount(tasks []*search.Task) int {
+	n := 0
+	for _, t := range tasks {
+		if t.TransferDonor != "" {
+			n++
+		}
+	}
+	return n
 }
 
 // ParseShape parses a CLI-style comma-separated shape ("1024,1024,1024")

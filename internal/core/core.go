@@ -121,11 +121,19 @@ type OperatorResult struct {
 	// BestGFLOPS is the corresponding throughput.
 	BestGFLOPS float64
 	Trials     int
+	// Measured is how many schedules were actually measured; MeasureSaved how
+	// many charged trials the adaptive sampler backfilled instead of
+	// measuring (Trials = Measured + MeasureSaved).
+	Measured     int
+	MeasureSaved int
 	// CostSec is the total simulated search time.
 	CostSec float64
 	Task    *search.Task
 	// WarmStarted reports whether a cached record seeded the run.
 	WarmStarted bool
+	// WarmTransfer names the donor registry key (workload@target) whose
+	// knowledge warm-started the run via cross-key transfer, if any.
+	WarmTransfer string
 	// CostSamples and CostRefits are the cost model's final training-set size
 	// and refit count; Pretrained reports whether the model carried offline
 	// knowledge (checkpoint or journal replay) before the first round.
@@ -168,6 +176,33 @@ type TuneHooks struct {
 	// evaluation reproduces the in-process values bit-exactly, so the hook
 	// changes where measurement runs, never what the journal records.
 	Evaluators EvaluatorProvider
+	// Transfer, when non-nil, supplies cross-key warm starts for tasks whose
+	// own (workload, target) registry key missed: a donor cost model cloned
+	// into the task plus the donor's best schedule queued as an unmeasured
+	// first candidate. Donor selection is deterministic (see
+	// registry.SelectDonor), so transfer preserves the worker-invariance
+	// contract.
+	Transfer TransferProvider
+	// Sampling, when enabled, attaches an adaptive measurement sampler to
+	// every task: engine rounds cluster their candidates in feature space and
+	// measure only cluster representatives (see search.SamplerConfig).
+	Sampling search.SamplerConfig
+}
+
+// TransferSeed is what a transfer donor contributes to a cold task: a model
+// fitted over donor samples (cloned per task; nil to skip model seeding), an
+// unmeasured warm-start candidate reconstructed from the donor's best
+// serialized steps, and the donor's registry key for reporting.
+type TransferSeed struct {
+	Model *costmodel.Model
+	Seed  *schedule.Schedule
+	Donor string
+}
+
+// TransferProvider resolves cross-key transfer seeds. A nil result means no
+// usable donor (including: the task's own key hit, so transfer is moot).
+type TransferProvider interface {
+	TransferFor(t *search.Task) *TransferSeed
 }
 
 // EvaluatorProvider hands out per-task remote measurement clients. It is an
@@ -189,6 +224,9 @@ func seedCostModel(t *search.Task, hooks TuneHooks) {
 	if hooks.Evaluators != nil {
 		t.Remote = hooks.Evaluators.EvaluatorFor(t)
 	}
+	if hooks.Sampling.Enabled {
+		t.Sampler = search.NewAdaptiveSampler(hooks.Sampling)
+	}
 	if hooks.Model != nil {
 		if d := hooks.Model.Dim(); d == 0 || d == t.FeatureDim() {
 			t.SetCostModel(hooks.Model.Clone())
@@ -196,6 +234,19 @@ func seedCostModel(t *search.Task, hooks TuneHooks) {
 	}
 	if hooks.Pretrain != nil {
 		pretrain.SeedTask(hooks.Pretrain, t)
+	}
+	if hooks.Transfer != nil {
+		if ts := hooks.Transfer.TransferFor(t); ts != nil {
+			// A donor model only fills a cold slot: explicit checkpoints and
+			// journal replays above carry key-exact knowledge and win.
+			if ts.Model != nil && t.Cost.Len() == 0 {
+				if d := ts.Model.Dim(); d == 0 || d == t.FeatureDim() {
+					t.SetCostModel(ts.Model.Clone())
+				}
+			}
+			t.SeedCandidate(ts.Seed)
+			t.TransferDonor = ts.Donor
+		}
 	}
 }
 
@@ -317,15 +368,18 @@ func TuneOperatorSession(ctx context.Context, sg *texpr.Subgraph, plat *hardware
 	cancelled := search.TuneSession(ctx, sched.Engine, task, budget, measureK, hooks.Progress)
 
 	res := &OperatorResult{
-		Scheduler:   sched.Name,
-		Trials:      task.Trials,
-		CostSec:     meas.CostSec(),
-		Task:        task,
-		WarmStarted: warm,
-		CostSamples: task.Cost.Len(),
-		CostRefits:  task.CostRefits,
-		Pretrained:  task.Pretrained,
-		Cancelled:   cancelled,
+		Scheduler:    sched.Name,
+		Trials:       task.Trials,
+		Measured:     task.Measured,
+		MeasureSaved: task.MeasureSaved,
+		CostSec:      meas.CostSec(),
+		Task:         task,
+		WarmStarted:  warm,
+		WarmTransfer: task.TransferDonor,
+		CostSamples:  task.Cost.Len(),
+		CostRefits:   task.CostRefits,
+		Pretrained:   task.Pretrained,
+		Cancelled:    cancelled,
 	}
 	if task.Best != nil {
 		res.BestExec = sim.Exec(task.Best)

@@ -87,8 +87,38 @@ func NewNetworkTuner(net *workload.Network, plat *hardware.Platform, sched *Sche
 	return nt
 }
 
-// Trials returns the cumulative number of measurements across all tasks.
-func (nt *NetworkTuner) Trials() int { return nt.Meas.Trials() }
+// Trials returns the cumulative charged-trial count across all tasks — the
+// budget spent. Without adaptive sampling it equals the shared measurer's
+// committed measurement count; with it, backfilled candidates charge trials
+// without reaching the measurer, and Measured carries the real count. (The
+// budget loop runs on charged trials so sampled and unsampled runs explore
+// the same number of candidates per budget.)
+func (nt *NetworkTuner) Trials() int {
+	total := 0
+	for _, t := range nt.Tasks {
+		total += t.Trials
+	}
+	return total
+}
+
+// Measured returns the cumulative count of schedules actually measured.
+func (nt *NetworkTuner) Measured() int {
+	total := 0
+	for _, t := range nt.Tasks {
+		total += t.Measured
+	}
+	return total
+}
+
+// MeasureSaved returns the cumulative count of charged trials whose
+// measurement the adaptive sampler skipped.
+func (nt *NetworkTuner) MeasureSaved() int {
+	total := 0
+	for _, t := range nt.Tasks {
+		total += t.MeasureSaved
+	}
+	return total
+}
 
 // AttachJournal wires every task's measurement callback to the journal.
 // Rounds are sequential across tasks in the serial tuner, so the record
@@ -200,6 +230,9 @@ func (nt *NetworkTuner) selectTask() int {
 func (nt *NetworkTuner) Round() int {
 	a := nt.selectTask()
 	t := nt.Tasks[a]
+	// Transfer warm-start candidates are measured ahead of the task's first
+	// engine round; a no-op afterwards.
+	t.FlushSeedCandidates()
 	nt.Sched.Engine.RunRound(t, nt.RoundTrials)
 	nt.allocations[a]++
 	nt.gHist[a] = append(nt.gHist[a], t.WeightedBestExec())
@@ -217,7 +250,7 @@ func (nt *NetworkTuner) Round() int {
 	nt.History = append(nt.History, NetSnapshot{
 		Round:      len(nt.History),
 		TaskIdx:    a,
-		Trials:     nt.Meas.Trials(),
+		Trials:     nt.Trials(),
 		TaskTrials: nt.TaskTrials(),
 		CostSec:    nt.Meas.CostSec(),
 		EstExec:    nt.EstimatedExec(),
@@ -237,13 +270,13 @@ func (nt *NetworkTuner) Run(budgetTrials int) {
 // takes exactly the same path as Run.
 func (nt *NetworkTuner) RunCtx(ctx context.Context, budgetTrials int) bool {
 	round := 0
-	for nt.Meas.Trials() < budgetTrials {
+	for nt.Trials() < budgetTrials {
 		if ctx.Err() != nil {
 			return true
 		}
-		before := nt.Meas.Trials()
+		before := nt.Trials()
 		a := nt.Round()
-		if nt.Meas.Trials() == before {
+		if nt.Trials() == before {
 			// The selected task's round was fully deduplicated; force random
 			// exploration on it so the budget always completes.
 			search.Tune(search.NewRandom(), nt.Tasks[a], nt.Tasks[a].Trials+nt.RoundTrials, nt.RoundTrials)
@@ -251,14 +284,16 @@ func (nt *NetworkTuner) RunCtx(ctx context.Context, budgetTrials int) bool {
 		if nt.OnProgress != nil {
 			t := nt.Tasks[a]
 			nt.OnProgress(search.Progress{
-				Task:        a,
-				Wave:        round,
-				Allocation:  nt.allocations[a],
-				TaskTrials:  t.Trials,
-				TotalTrials: nt.Meas.Trials(),
-				BestExec:    t.BestExec,
-				RunBest:     nt.EstimatedExec(),
-				CostSec:     nt.Meas.CostSec(),
+				Task:          a,
+				Wave:          round,
+				Allocation:    nt.allocations[a],
+				TaskTrials:    t.Trials,
+				TotalTrials:   nt.Trials(),
+				TaskMeasured:  t.Measured,
+				TotalMeasured: nt.Measured(),
+				BestExec:      t.BestExec,
+				RunBest:       nt.EstimatedExec(),
+				CostSec:       nt.Meas.CostSec(),
 			})
 		}
 		round++

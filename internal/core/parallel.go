@@ -107,8 +107,15 @@ func (p *ParallelNetworkTuner) RunCtx(ctx context.Context, budgetTrials int) boo
 	return p.MT.RunCtx(ctx, budgetTrials)
 }
 
-// Trials returns the cumulative measurement count across all tasks.
+// Trials returns the cumulative charged-trial count across all tasks.
 func (p *ParallelNetworkTuner) Trials() int { return p.MT.Trials() }
+
+// Measured returns the cumulative count of schedules actually measured.
+func (p *ParallelNetworkTuner) Measured() int { return p.MT.Measured() }
+
+// MeasureSaved returns the cumulative count of charged trials whose
+// measurement the adaptive sampler skipped.
+func (p *ParallelNetworkTuner) MeasureSaved() int { return p.MT.MeasureSaved() }
 
 // CostSec returns the total simulated search time across all tasks.
 func (p *ParallelNetworkTuner) CostSec() float64 { return p.MT.CostSec() }

@@ -1,0 +1,25 @@
+package costmodel
+
+import "math"
+
+// TransferModel fits a fresh model over donor samples — feature vectors and
+// their recorded execution times, typically reconstructed from registry
+// records of other (workload, target) keys — for seeding a cold search.
+// Labels use the same log-throughput convention as online training, so the
+// returned model drops into Task.SetCostModel (callers Clone it per task).
+// Samples with non-positive execution times are skipped. Returns nil if
+// nothing usable was provided.
+func TransferModel(feats [][]float64, execSecs []float64) *Model {
+	m := New(DefaultParams())
+	for i, f := range feats {
+		if i >= len(execSecs) || execSecs[i] <= 0 || len(f) == 0 {
+			continue
+		}
+		m.Add(f, math.Log(1/execSecs[i]))
+	}
+	if m.Len() == 0 {
+		return nil
+	}
+	m.Refit()
+	return m
+}

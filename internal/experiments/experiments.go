@@ -108,6 +108,8 @@ func RunPair(sg *texpr.Subgraph, plat *hardware.Platform, budget, measureK int, 
 	// engine-private so a single instance is safe.
 	ansor := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("ansor"), budget, measureK, seed, workers)
 	harl := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("harl"), budget, measureK, seed+1, workers)
+	observeTask(ansor.Task)
+	observeTask(harl.Task)
 
 	res := PairResult{
 		Name:      sg.Name,
@@ -239,6 +241,7 @@ func AblationTrajectory(cfg Config, w io.Writer) TrajectoryResult {
 	finals := map[string]float64{}
 	for _, name := range []string{"ansor", "hierarchical-rl", "harl"} {
 		res := core.TuneOperatorWorkers(sg, plat, core.MustScheduler(name), budget, cfg.MeasureK, cfg.Seed, cfg.workers())
+		observeTask(res.Task)
 		curves[name] = res.Task.BestLog
 		finals[name] = res.BestGFLOPS
 	}
@@ -304,6 +307,8 @@ func CriticalSteps(cfg Config, w io.Writer) CriticalStepsResult {
 	plat := hardware.CPUXeon6226R()
 	fixed := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("hierarchical-rl"), cfg.OperatorBudget, cfg.MeasureK, cfg.Seed, cfg.workers())
 	adaptive := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("harl"), cfg.OperatorBudget, cfg.MeasureK, cfg.Seed, cfg.workers())
+	observeTask(fixed.Task)
+	observeTask(adaptive.Task)
 
 	res := CriticalStepsResult{
 		FixedBins:    positionBins(fixed.Task.TrackPositions),
@@ -389,6 +394,7 @@ func sensitivity(cfg Config, w io.Writer, param string, values []float64) []Sens
 		}
 		sched := &core.Scheduler{Name: "harl", Engine: search.NewHARL(hcfg), Policy: core.PolicySWUCB}
 		res := core.TuneOperatorWorkers(sg, plat, sched, cfg.OperatorBudget, cfg.MeasureK, cfg.Seed, cfg.workers())
+		observeTask(res.Task)
 		rounds := math.Max(1, float64(res.Trials)/float64(cfg.MeasureK))
 		rows = append(rows, SensitivityRow{
 			Value:       v,

@@ -41,6 +41,9 @@ func runNetwork(cfg Config, netName string, batch int, platName, schedName strin
 		nt.SetWorkers(w)
 	}
 	nt.Run(netBudget(cfg, net))
+	for _, t := range nt.Tasks {
+		observeTask(t)
+	}
 	return nt
 }
 

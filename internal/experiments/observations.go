@@ -182,6 +182,7 @@ func FixedLengthWaste(cfg Config, w io.Writer) FixedLengthWasteResult {
 		sg := workload.SuiteFor(geom, 1)[0]
 		res := core.TuneOperatorWorkers(sg, plat, core.MustScheduler("flextensor"),
 			cfg.OperatorBudget/2, cfg.MeasureK, cfg.Seed+uint64(i), cfg.workers())
+		observeTask(res.Task)
 		all = append(all, res.Task.TrackPositions...)
 	}
 	res := FixedLengthWasteResult{Bins: positionBins(all)}

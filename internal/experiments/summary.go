@@ -26,14 +26,25 @@ type Summary struct {
 	Workers            int     `json:"workers"`
 	// DurationMS is the wall-clock runtime of the experiment.
 	DurationMS float64 `json:"duration_ms"`
+	// Measured and MeasureSaved partition the charged trials of every tuning
+	// run the experiment performed: hardware measurements actually paid
+	// versus trials backfilled from cost-model predictions (adaptive
+	// sampling; zero when sampling is off). TrialsToBest is the mean charged
+	// trial at which runs locked in their final best. Experiments that tune
+	// nothing (tab1) report zeros.
+	Measured     int `json:"measured"`
+	MeasureSaved int `json:"measure_saved"`
+	TrialsToBest int `json:"trials_to_best"`
 	// Output is the experiment's rendered table/figure text — the same rows
 	// a human sees, kept verbatim so traces are diffable run to run (the
 	// rows are seed-deterministic; only DurationMS varies).
 	Output string `json:"output"`
 }
 
-// NewSummary builds the summary of one finished experiment.
+// NewSummary builds the summary of one finished experiment, taking the
+// measurement accounting the run accumulated since ResetObservations.
 func NewSummary(id string, cfg Config, duration time.Duration, output string) Summary {
+	obs := TakeObservations()
 	return Summary{
 		Experiment:         id,
 		Seed:               cfg.Seed,
@@ -44,6 +55,9 @@ func NewSummary(id string, cfg Config, duration time.Duration, output string) Su
 		NetworkBudgetScale: cfg.NetworkBudgetScale,
 		Workers:            cfg.Workers,
 		DurationMS:         float64(duration.Microseconds()) / 1e3,
+		Measured:           obs.Measured,
+		MeasureSaved:       obs.MeasureSaved,
+		TrialsToBest:       obs.TrialsToBest,
 		Output:             output,
 	}
 }

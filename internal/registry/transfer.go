@@ -1,0 +1,72 @@
+// Transfer donor selection: when a (workload, target, scheduler) key misses,
+// the registry's other keys may still hold transferable knowledge. This file
+// implements the deterministic donor-selection policy — pure over a sorted
+// record slice, so every caller (operator sessions, both network tuners,
+// any worker count) picks the same donor for the same registry state.
+package registry
+
+import "harl/internal/tunelog"
+
+// DonorKind classifies where a transfer donor's knowledge comes from.
+type DonorKind int
+
+const (
+	// DonorCrossTarget is the same workload tuned on a different target —
+	// the preferred donor: the schedule space is identical, only the
+	// hardware differs.
+	DonorCrossTarget DonorKind = iota
+	// DonorCrossWorkload is a structurally compatible workload (its
+	// serialized steps reconstruct in the recipient's sketch space, which
+	// implies an equal feature dimension) tuned on the same target.
+	DonorCrossWorkload
+)
+
+// Donor is a selected transfer donor.
+type Donor struct {
+	Rec  tunelog.Record
+	Kind DonorKind
+}
+
+// SelectDonor picks a transfer donor for a missing (workload, target) key
+// from recs, which must be sorted by registry key (Registry.Records returns
+// exactly that). compatible reports whether a record's serialized steps
+// reconstruct in the recipient's schedule space — the structural gate that
+// keeps dimension-incompatible donors out.
+//
+// Policy, fully deterministic: cross-target donors (same workload, other
+// target) beat cross-workload donors (same target, other workload); within a
+// kind, a donor under the recipient's scheduler beats one under another
+// scheduler; remaining ties break by lower recorded execution time, then by
+// registry-key order. Records for the recipient's own (workload, target)
+// pair are never donors — that key either hit, or holds nothing usable.
+func SelectDonor(recs []tunelog.Record, workload, target, scheduler string, compatible func(tunelog.Record) bool) (Donor, bool) {
+	var best Donor
+	bestRank := -1
+	for _, rec := range recs {
+		var kind DonorKind
+		switch {
+		case rec.Workload == workload && rec.Target != target:
+			kind = DonorCrossTarget
+		case rec.Target == target && rec.Workload != workload:
+			kind = DonorCrossWorkload
+		default:
+			continue
+		}
+		if compatible != nil && !compatible(rec) {
+			continue
+		}
+		rank := 0
+		if kind == DonorCrossTarget {
+			rank += 2
+		}
+		if scheduler == "" || rec.Scheduler == scheduler {
+			rank++
+		}
+		if bestRank < 0 || rank > bestRank ||
+			(rank == bestRank && rec.ExecSec < best.Rec.ExecSec) {
+			best = Donor{Rec: rec, Kind: kind}
+			bestRank = rank
+		}
+	}
+	return best, bestRank >= 0
+}

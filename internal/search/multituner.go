@@ -173,11 +173,32 @@ func (mt *MultiTuner) drainRecords(sel []int) {
 	}
 }
 
-// Trials returns the cumulative measurement count across all tasks.
+// Trials returns the cumulative charged-trial count across all tasks — the
+// budget spent. With adaptive sampling this includes backfilled candidates;
+// Measured counts what actually reached the measurer.
 func (mt *MultiTuner) Trials() int {
 	total := 0
 	for _, t := range mt.Tasks {
 		total += t.Trials
+	}
+	return total
+}
+
+// Measured returns the cumulative count of schedules actually measured.
+func (mt *MultiTuner) Measured() int {
+	total := 0
+	for _, t := range mt.Tasks {
+		total += t.Measured
+	}
+	return total
+}
+
+// MeasureSaved returns the cumulative count of charged trials whose
+// measurement the adaptive sampler skipped.
+func (mt *MultiTuner) MeasureSaved() int {
+	total := 0
+	for _, t := range mt.Tasks {
+		total += t.MeasureSaved
 	}
 	return total
 }
@@ -335,6 +356,11 @@ func (mt *MultiTuner) wave(width, remaining int) []int {
 	mt.pool.Run(len(sel), func(j int) {
 		a := sel[j]
 		t := mt.Tasks[a]
+		// Transfer warm-start candidates are measured ahead of the task's
+		// first engine round; a no-op on every later wave. The flush happens
+		// inside the task's own pool slot, so it stays serial per task and
+		// worker-invariant like the round itself.
+		t.FlushSeedCandidates()
 		if mt.Engines[a].RunRound(t, caps[j]) == 0 {
 			// The round produced nothing new (space exhausted or all
 			// duplicates); inject random exploration so waves make progress.
@@ -355,17 +381,20 @@ func (mt *MultiTuner) wave(width, remaining int) []int {
 	if mt.OnProgress != nil {
 		snap := mt.History[len(mt.History)-1]
 		est := mt.EstimatedExec()
+		measured := mt.Measured()
 		for _, a := range sel {
 			t := mt.Tasks[a]
 			mt.OnProgress(Progress{
-				Task:        a,
-				Wave:        snap.Wave,
-				Allocation:  mt.allocations[a],
-				TaskTrials:  t.Trials,
-				TotalTrials: snap.Trials,
-				BestExec:    t.BestExec,
-				RunBest:     est,
-				CostSec:     snap.CostSec,
+				Task:          a,
+				Wave:          snap.Wave,
+				Allocation:    mt.allocations[a],
+				TaskTrials:    t.Trials,
+				TotalTrials:   snap.Trials,
+				TaskMeasured:  t.Measured,
+				TotalMeasured: measured,
+				BestExec:      t.BestExec,
+				RunBest:       est,
+				CostSec:       snap.CostSec,
 			})
 		}
 	}

@@ -18,10 +18,17 @@ type Progress struct {
 	Wave int
 	// Allocation is how many engine rounds the task has received so far.
 	Allocation int
-	// TaskTrials is the task-local cumulative measurement count and
-	// TotalTrials the run-wide one (equal for operator runs).
+	// TaskTrials is the task-local cumulative charged-trial count and
+	// TotalTrials the run-wide one (equal for operator runs). With adaptive
+	// sampling, charged trials include backfilled candidates that were never
+	// measured; TaskMeasured/TotalMeasured carry the real measurement counts.
 	TaskTrials  int
 	TotalTrials int
+	// TaskMeasured is the task-local count of schedules actually measured,
+	// and TotalMeasured the run-wide one. Without adaptive sampling they
+	// equal TaskTrials/TotalTrials.
+	TaskMeasured  int
+	TotalMeasured int
 	// BestExec is the task's best measured execution time so far (+Inf until
 	// the task measures its first schedule).
 	BestExec float64
@@ -40,6 +47,11 @@ type Progress struct {
 // goroutine, so anything it observes is consistent and anything it does (such
 // as cancelling ctx) takes effect at the next round boundary.
 func TuneSession(ctx context.Context, e Engine, t *Task, budgetTrials, measureK int, onProgress func(Progress)) bool {
+	if t.Trials < budgetTrials {
+		// Measure any transfer warm-start candidates before the first engine
+		// round, so the donor's best schedule anchors the search immediately.
+		t.FlushSeedCandidates()
+	}
 	round := 0
 	for t.Trials < budgetTrials {
 		if ctx.Err() != nil {
@@ -54,14 +66,16 @@ func TuneSession(ctx context.Context, e Engine, t *Task, budgetTrials, measureK 
 		}
 		if onProgress != nil {
 			onProgress(Progress{
-				Task:        0,
-				Wave:        round,
-				Allocation:  round + 1,
-				TaskTrials:  t.Trials,
-				TotalTrials: t.Trials,
-				BestExec:    t.BestExec,
-				RunBest:     t.BestExec,
-				CostSec:     t.Meas.CostSec(),
+				Task:          0,
+				Wave:          round,
+				Allocation:    round + 1,
+				TaskTrials:    t.Trials,
+				TotalTrials:   t.Trials,
+				TaskMeasured:  t.Measured,
+				TotalMeasured: t.Measured,
+				BestExec:      t.BestExec,
+				RunBest:       t.BestExec,
+				CostSec:       t.Meas.CostSec(),
 			})
 		}
 		round++

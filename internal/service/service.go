@@ -90,12 +90,22 @@ func (r Request) normalize() Request {
 // Outcome summarizes a finished tuning job — the service-level mirror of
 // harl.Result / harl.NetworkResult.
 type Outcome struct {
-	Workload      string  `json:"workload"`
-	Target        string  `json:"target"`
-	Scheduler     string  `json:"scheduler"`
-	ExecSeconds   float64 `json:"exec_seconds"`
-	GFLOPS        float64 `json:"gflops,omitempty"`
-	Trials        int     `json:"trials"`
+	Workload    string  `json:"workload"`
+	Target      string  `json:"target"`
+	Scheduler   string  `json:"scheduler"`
+	ExecSeconds float64 `json:"exec_seconds"`
+	GFLOPS      float64 `json:"gflops,omitempty"`
+	// Trials is the charged-trial count (the budget the search spent);
+	// Measured the schedules actually measured on hardware and MeasureSaved
+	// the adaptive-sampling backfills (trials = measured + measure_saved).
+	Trials       int `json:"trials"`
+	Measured     int `json:"measured"`
+	MeasureSaved int `json:"measure_saved,omitempty"`
+	// WarmTransfer names the donor registry key that warm-started an
+	// operator job via cross-key transfer; WarmTransfers counts the
+	// transfer-seeded subgraph tasks of a network job.
+	WarmTransfer  string  `json:"warm_transfer,omitempty"`
+	WarmTransfers int     `json:"warm_transfers,omitempty"`
 	SearchSeconds float64 `json:"search_seconds"`
 	BestSchedule  string  `json:"best_schedule,omitempty"`
 	// CacheHit reports the result came from the registry without measuring;
@@ -160,11 +170,16 @@ type Metrics struct {
 	RegistryHits   int `json:"registry_hits"`
 	RegistryMisses int `json:"registry_misses"`
 	RegistryErrors int `json:"registry_errors"`
-	// TrialsMeasured sums the measured trials of finished jobs — the compute
-	// the service actually spent.
-	TrialsMeasured int `json:"trials_measured"`
-	QueueDepth     int `json:"queue_depth"`
-	Running        int `json:"running"`
+	// TrialsMeasured sums the schedules finished jobs actually measured — the
+	// compute the service actually spent. MeasureSaved sums the charged
+	// trials adaptive sampling skipped, and TransferWarmstarts the sessions
+	// (operator jobs) or subgraph tasks (network jobs) a cross-key transfer
+	// donor warm-started.
+	TrialsMeasured     int `json:"trials_measured"`
+	MeasureSaved       int `json:"measure_saved"`
+	TransferWarmstarts int `json:"transfer_warmstarts"`
+	QueueDepth         int `json:"queue_depth"`
+	Running            int `json:"running"`
 }
 
 // maxRetainedJobs bounds how many finished (done/failed/cancelled) jobs the
@@ -324,12 +339,12 @@ func (q *Queue) worker() {
 			j.State = StateCancelled
 			j.Outcome = &out
 			q.m.Cancelled++
-			q.m.TrialsMeasured += out.Trials
+			q.foldSavingsLocked(out)
 		default:
 			j.State = StateDone
 			j.Outcome = &out
 			q.m.Done++
-			q.m.TrialsMeasured += out.Trials
+			q.foldSavingsLocked(out)
 			if out.PlateauStopped {
 				q.m.PlateauStopped++
 			}
@@ -342,6 +357,18 @@ func (q *Queue) worker() {
 		}
 		q.finishLocked(j)
 		q.mu.Unlock()
+	}
+}
+
+// foldSavingsLocked accumulates a finished (done or cancelled) outcome's
+// measurement accounting into the queue metrics: real measurements, sampled
+// savings and transfer warm starts. Caller holds q.mu.
+func (q *Queue) foldSavingsLocked(out Outcome) {
+	q.m.TrialsMeasured += out.Measured
+	q.m.MeasureSaved += out.MeasureSaved
+	q.m.TransferWarmstarts += out.WarmTransfers
+	if out.WarmTransfer != "" {
+		q.m.TransferWarmstarts++
 	}
 }
 

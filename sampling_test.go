@@ -1,0 +1,104 @@
+package harl
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAdaptiveSamplingSavesMeasurements pins the measurement-efficiency
+// acceptance bar on the committed GEMM workload: with sampling on, hardware
+// measurements drop by at least 30% while the final best schedule cost stays
+// equal or better, and both runs still reach the committed journal's best
+// within the budget.
+func TestAdaptiveSamplingSavesMeasurements(t *testing.T) {
+	w := pretrainWorkload()
+	best, ok, err := BestRecord(committedPretrainJournal, w, CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("committed journal has no best record for the workload")
+	}
+	opts := Options{Scheduler: "harl", Trials: 320, Seed: 1}
+	cold, err := TuneOperator(w, CPU(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Measured != cold.Trials || cold.MeasureSaved != 0 {
+		t.Fatalf("sampling off must measure every trial: trials=%d measured=%d saved=%d",
+			cold.Trials, cold.Measured, cold.MeasureSaved)
+	}
+	opts.AdaptiveSampling = AdaptiveSampling{Enabled: true}
+	ad, err := TuneOperator(w, CPU(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Trials != cold.Trials {
+		t.Fatalf("sampling must keep the budget meaning of Trials: %d vs %d", ad.Trials, cold.Trials)
+	}
+	if ad.Measured+ad.MeasureSaved != ad.Trials {
+		t.Fatalf("accounting: measured=%d + saved=%d != trials=%d", ad.Measured, ad.MeasureSaved, ad.Trials)
+	}
+	if ad.MeasureSaved*10 < ad.Trials*3 {
+		t.Fatalf("want >= 30%% measurements saved, got %d of %d (%.0f%%)",
+			ad.MeasureSaved, ad.Trials, 100*float64(ad.MeasureSaved)/float64(ad.Trials))
+	}
+	if ad.ExecSeconds > cold.ExecSeconds {
+		t.Fatalf("sampled best %.6g worse than unsampled %.6g", ad.ExecSeconds, cold.ExecSeconds)
+	}
+	coldReach := trialsToReach(cold.BestLog, best.ExecSeconds)
+	adReach := trialsToReach(ad.BestLog, best.ExecSeconds)
+	if coldReach < 0 || adReach < 0 {
+		t.Fatalf("journal best %.6g not reached within budget: cold=%d sampled=%d", best.ExecSeconds, coldReach, adReach)
+	}
+	t.Logf("saved %d of %d measurements (%.0f%%); best %.6g vs %.6g; journal best at %d vs %d",
+		ad.MeasureSaved, ad.Trials, 100*float64(ad.MeasureSaved)/float64(ad.Trials),
+		ad.ExecSeconds, cold.ExecSeconds, adReach, coldReach)
+}
+
+// TestAdaptiveJournalsAreWorkerInvariant: the byte-identical-journal contract
+// must survive sampling — clustering and representative selection are pure
+// functions of the candidate features and the task RNG stream, so workers=1
+// and workers=3 must commit identical journals while actually saving
+// measurements.
+func TestAdaptiveJournalsAreWorkerInvariant(t *testing.T) {
+	w := pretrainWorkload()
+	dir := t.TempDir()
+	var logs [][]byte
+	var results []Result
+	for _, workers := range []int{1, 3} {
+		path := filepath.Join(dir, fmt.Sprintf("w%d.jsonl", workers))
+		res, err := TuneOperator(w, CPU(), Options{
+			Scheduler:        "harl",
+			Trials:           96,
+			Seed:             11,
+			Workers:          workers,
+			AdaptiveSampling: AdaptiveSampling{Enabled: true},
+			RecordLog:        path,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, data)
+		results = append(results, res)
+	}
+	if !bytes.Equal(logs[0], logs[1]) {
+		t.Fatal("sampled journals differ between workers=1 and workers=3")
+	}
+	for _, res := range results {
+		if res.MeasureSaved == 0 {
+			t.Fatal("sampling must actually save measurements in this run")
+		}
+	}
+	if results[0].ExecSeconds != results[1].ExecSeconds || results[0].BestSchedule != results[1].BestSchedule ||
+		results[0].Measured != results[1].Measured || results[0].MeasureSaved != results[1].MeasureSaved {
+		t.Fatalf("sampled results differ between worker counts: %+v vs %+v", results[0], results[1])
+	}
+}

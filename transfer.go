@@ -1,0 +1,68 @@
+package harl
+
+import (
+	"harl/internal/core"
+	"harl/internal/costmodel"
+	"harl/internal/registry"
+	"harl/internal/schedule"
+	"harl/internal/search"
+	"harl/internal/tunelog"
+)
+
+// transferProvider implements core.TransferProvider over a registry: when a
+// task's own (workload, target, scheduler) key misses, it scans the
+// registry's sorted record set for a donor key (registry.SelectDonor's
+// deterministic policy — same workload on another target preferred, else a
+// structurally compatible workload on the same target), fits a transfer
+// model over every compatible donor record, and hands back the donor's best
+// schedule as an unmeasured warm-start candidate. Structural compatibility
+// is decided by deserializing a record's steps against the recipient task's
+// sketches — success implies the feature dimensions match, which is the same
+// gate checkpointed models use.
+type transferProvider struct {
+	reg       *Registry
+	target    string
+	scheduler string
+}
+
+func (p *transferProvider) TransferFor(t *search.Task) *core.TransferSeed {
+	fp := t.Graph.Fingerprint()
+	if rec, ok, err := p.reg.reg.Resolve(fp, p.target, p.scheduler); err == nil && ok {
+		if _, serr := rec.Schedule(t.Sketches); serr == nil {
+			// The task's own key hits and reconstructs: the warm-start path
+			// owns it, transfer has nothing to add.
+			return nil
+		}
+	}
+	recs := p.reg.reg.Records()
+	// Reconstruct each candidate record once; SelectDonor calls compatible
+	// only for donor-eligible records, and its sorted iteration order makes
+	// the sample order (and therefore the fitted model) deterministic.
+	memo := make(map[string]*schedule.Schedule)
+	var feats [][]float64
+	var execs []float64
+	compatible := func(rec tunelog.Record) bool {
+		key := rec.Workload + "\x00" + rec.Target + "\x00" + rec.Scheduler
+		if s, seen := memo[key]; seen {
+			return s != nil
+		}
+		s, err := rec.Schedule(t.Sketches)
+		if err != nil {
+			memo[key] = nil
+			return false
+		}
+		memo[key] = s
+		feats = append(feats, s.Features())
+		execs = append(execs, rec.ExecSec)
+		return true
+	}
+	donor, ok := registry.SelectDonor(recs, fp, p.target, p.scheduler, compatible)
+	if !ok {
+		return nil
+	}
+	return &core.TransferSeed{
+		Model: costmodel.TransferModel(feats, execs),
+		Seed:  memo[donor.Rec.Workload+"\x00"+donor.Rec.Target+"\x00"+donor.Rec.Scheduler],
+		Donor: donor.Rec.Workload + "@" + donor.Rec.Target,
+	}
+}
