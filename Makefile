@@ -1,16 +1,28 @@
 # Standard verification gate for the HARL reproduction.
 #
-#   make        — vet + build + unit tests
-#   make fmt    — gofmt the whole tree in place
-#   make race   — the full suite under the race detector (the merge gate for
-#                 anything touching the concurrent tuning engine)
-#   make bench  — one pass over every experiment benchmark
-#   make cover  — coverage profile across ./... and the total percentage
-#   make check  — everything: vet, build, tests, race
+#   make           — vet + build + unit tests
+#   make fmt       — gofmt the whole tree in place
+#   make race      — the full suite under the race detector (the merge gate
+#                    for anything touching the concurrent tuning engine)
+#   make bench     — one pass over every experiment benchmark
+#   make bench-hot — the search hot-path microbenchmarks (features, batch
+#                    scoring, refit, batch prediction), repeated BENCH_COUNT
+#                    times with allocation stats into bench-hot.txt
+#   make benchcmp  — bench-hot, then benchstat against the committed
+#                    bench/baseline.txt (needs benchstat on PATH:
+#                    go install golang.org/x/perf/cmd/benchstat@latest)
+#   make cover     — coverage profile across ./... and the total percentage
+#   make check     — everything: vet, build, tests, race
 
 GO ?= go
 
-.PHONY: all fmt vet build test race bench cover check
+# The search hot path: schedule featurization, batch candidate scoring, cost
+# model refit and batch prediction. CI's perf-smoke job runs exactly this set
+# on the base and head commits and fails on significant regressions.
+HOT_BENCH ?= ^(BenchmarkScheduleFeatures|BenchmarkScoreBatch|BenchmarkRefit|BenchmarkPredictBatch)$$
+BENCH_COUNT ?= 10
+
+.PHONY: all fmt vet build test race bench bench-hot benchcmp cover check
 
 all: vet build test
 
@@ -33,6 +45,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+bench-hot:
+	$(GO) test -run='^$$' -bench='$(HOT_BENCH)' -count=$(BENCH_COUNT) -benchmem . | tee bench-hot.txt
+
+benchcmp: bench-hot
+	benchstat bench/baseline.txt bench-hot.txt
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -20,6 +20,7 @@ import (
 	"harl/internal/hardware"
 	"harl/internal/rl"
 	"harl/internal/schedule"
+	"harl/internal/search"
 	"harl/internal/sketch"
 	"harl/internal/workload"
 	"harl/internal/xrand"
@@ -210,14 +211,48 @@ func BenchmarkSimulatorExec(b *testing.B) {
 	}
 }
 
-// BenchmarkScheduleFeatures measures feature extraction.
+// BenchmarkScheduleFeatures measures feature extraction: "cold" pays one
+// Clone plus the full computation (the mutation-path cost — every Apply and
+// Mutate produces a fresh schedule whose vector is computed on first read),
+// "cached" is the memoized re-read every later consumer pays.
 func BenchmarkScheduleFeatures(b *testing.B) {
 	sg := workload.Conv2D("c", 1, 56, 56, 64, 64, 3, 1, 1)
 	rng := xrand.New(1)
 	s := schedule.NewRandom(sketch.Generate(sg)[0], 4, rng)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Clone().Features()
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		s.Features()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Features()
+		}
+	})
+}
+
+// BenchmarkScoreBatch measures the engines' candidate-scoring hot path: 512
+// candidates scored against a trained cost model through Task.ScoreBatch
+// (memoized features, pooled chunk buffers, write-into batch prediction).
+func BenchmarkScoreBatch(b *testing.B) {
+	sg := workload.GEMM("g", 1, 256, 256, 256)
+	plat := hardware.CPUXeon6226R()
+	rng := xrand.New(1)
+	task := search.NewTask(sg, plat, hardware.NewMeasurer(hardware.NewSimulator(plat), rng.Split()), rng.Split())
+	task.ExploreRandom(32)
+	batch := make([]*schedule.Schedule, 512)
+	for i := range batch {
+		batch[i] = task.RandomSchedule(task.Sketches[i%len(task.Sketches)])
+	}
+	task.ScoreBatch(batch) // warm the feature memos and score buffers
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = s.Features()
+		_ = task.ScoreBatch(batch)
 	}
 }
 

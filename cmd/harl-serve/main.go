@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"harl"
+	"harl/internal/profiling"
 	"harl/internal/service"
 )
 
@@ -58,6 +59,7 @@ func main() {
 	fleetList := flag.String("fleet", "", "comma-separated harl-worker endpoints shared by every tuning session (bit-identical to in-process measurement; dead workers fall back in-process); counters at /metrics as harl_fleet_*")
 	transfer := flag.Bool("transfer", false, "cross-key transfer warm starts: a registry miss scans for a donor key (same workload on another target, or a compatible workload on the same target) instead of starting cold; counted at /metrics as harl_transfer_warmstarts_total")
 	adaptive := flag.Bool("adaptive", false, "adaptive measurement sampling: measure only cluster representatives of each candidate batch once the cost model earns trust, backfilling the rest from predictions; savings at /metrics as harl_measure_saved_total")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060), separate from -addr so profiling is never exposed to tuning clients; empty disables")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -76,6 +78,14 @@ func main() {
 				fatal(fmt.Errorf("-plateau-improve needs -plateau-window > 0 to take effect"))
 			}
 		})
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := profiling.ListenAndServe(*pprofAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "harl-serve: pprof:", err)
+			}
+		}()
+		fmt.Printf("harl-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	reg, err := harl.OpenRegistryOptions(*registryDir, harl.RegistryOptions{Layout: *registryLayout})
 	if err != nil {

@@ -34,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"harl"
@@ -62,6 +64,8 @@ func main() {
 	plateauImprove := flag.Float64("plateau-improve", 0, "minimum relative improvement (0.01 = 1%) over the plateau window to keep searching")
 	transfer := flag.Bool("transfer", false, "cross-key transfer warm starts (requires -registry): when this key misses, scan the registry for a donor key — the same workload on another target, or a compatible workload on the same target — and seed the cost model and first candidate from it")
 	adaptive := flag.Bool("adaptive", false, "adaptive measurement sampling: once the cost model earns trust, measure only cluster representatives of each candidate batch and backfill the rest from predictions (results stay deterministic per worker count)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file when tuning finishes")
 	flag.Parse()
 
 	// Validate every name-typed flag up front, so a typo exits non-zero with
@@ -81,6 +85,33 @@ func main() {
 	}
 	if *transfer && *registryDir == "" {
 		fatal(fmt.Errorf("-transfer needs -registry (the donor scan reads it)"))
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "harl-tune: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage awaiting collection
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "harl-tune: memprofile:", err)
+			}
+		}()
 	}
 	opts := harl.Options{Scheduler: *scheduler, Trials: *trials, Seed: *seed, Workers: *workers,
 		RecordLog: *logPath, ResumeFrom: *resume,

@@ -132,6 +132,13 @@ func TestFleetWorkerKilledMidRun(t *testing.T) {
 	if !bytes.Equal(readJournal(t, localLog), readJournal(t, fleetLog)) {
 		t.Fatal("journal changed after mid-run worker death")
 	}
+	// Ejection takes EjectAfter consecutive observed failures, and the run
+	// can finish within one probe period of the kill — give the health loop
+	// time to notice the dead worker rather than racing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Stats().Ejections == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
 	if st2 := pool.Stats(); st2.Ejections == 0 {
 		t.Fatalf("dead worker never ejected: %+v", st2)
 	}

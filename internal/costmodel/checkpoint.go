@@ -137,6 +137,7 @@ func UnmarshalCheckpoint(data []byte) (*Model, error) {
 		}
 		m.trees = append(m.trees, t)
 	}
+	m.reflatten()
 	return m, nil
 }
 

@@ -33,6 +33,23 @@ type CostModel interface {
 	Len() int
 }
 
+// ParallelRefitter is implemented by cost models whose Refit fans independent
+// scans across a worker pool. The contract is strict: the fitted model must be
+// bit-identical for every worker count (the runner only changes wall-clock
+// time), so installing a task's pool cannot perturb the workers=1 ≡ workers=N
+// journal contract. search.Task installs its pool before each refit.
+type ParallelRefitter interface {
+	SetRunner(Runner)
+}
+
+// BatchInto is implemented by cost models that can write batched predictions
+// into a caller-owned slice, letting steady-state scorers reuse one output
+// buffer instead of allocating per call. out must be at least len(xs) long;
+// the first len(xs) elements match PredictBatch exactly.
+type BatchInto interface {
+	PredictBatchInto(xs [][]float64, out []float64)
+}
+
 // Checkpointer is implemented by cost models that serialize to the versioned
 // checkpoint format (see checkpoint.go). Callers that hold a CostModel
 // type-assert against it to save artifacts without naming the concrete type.

@@ -9,6 +9,15 @@
 //
 // of the actor-critic search as well as the ranking oracle of the top-K
 // selection phase.
+//
+// Because the model sits on the search hot path (every candidate the engines
+// visit is scored, and the ensemble is rebuilt after every measurement
+// batch), prediction runs on a flattened struct-of-arrays mirror of the
+// trees (see flatForest) and Refit reuses its scan buffers and fans its
+// per-feature/per-sample scans across an optional Runner. Both are exact:
+// predictions and fitted ensembles are bit-identical to the straightforward
+// pointer-tree implementation, which is retained as the reference kernel and
+// pinned by equivalence tests.
 package costmodel
 
 import (
@@ -49,6 +58,9 @@ type node struct {
 
 type tree struct{ nodes []node }
 
+// predict is the reference traversal kernel: it walks the pointer-style node
+// slice. The hot paths use flatForest instead; this stays as the ground
+// truth the flat kernel is cross-checked against (TestFlatKernelEquivalence).
 func (t *tree) predict(x []float64) float64 {
 	i := 0
 	for !t.nodes[i].isLeaf {
@@ -61,6 +73,217 @@ func (t *tree) predict(x []float64) float64 {
 	return t.nodes[i].leaf
 }
 
+// flatForest is the struct-of-arrays prediction kernel: every tree's nodes
+// flattened into four parallel arrays, rebuilt whenever the ensemble changes
+// (Refit, checkpoint load, Clone). Traversal touches a third of the memory
+// of the node-struct layout (int32 indices, no isLeaf byte: feat < 0 marks a
+// leaf) and leaves are pre-scaled by the learning rate, so accumulating a
+// sample is one add per tree. Both transformations are exact — lr·leaf is
+// the same IEEE product whether computed at flatten or at predict time — so
+// flat predictions are bit-identical to the reference kernel.
+type flatForest struct {
+	roots []int32 // start node of each tree
+	feat  []int32 // split feature, or -1 for a leaf
+	val   []float64
+	left  []int32
+	right []int32
+}
+
+func (f *flatForest) reset() {
+	f.roots = f.roots[:0]
+	f.feat = f.feat[:0]
+	f.val = f.val[:0]
+	f.left = f.left[:0]
+	f.right = f.right[:0]
+}
+
+func (f *flatForest) numTrees() int { return len(f.roots) }
+
+// addTree appends one built tree, pre-scaling its leaves by lr, and returns
+// the tree's index.
+func (f *flatForest) addTree(t *tree, lr float64) int {
+	base := int32(len(f.feat))
+	f.roots = append(f.roots, base)
+	for _, n := range t.nodes {
+		if n.isLeaf {
+			f.feat = append(f.feat, -1)
+			f.val = append(f.val, lr*n.leaf)
+			f.left = append(f.left, 0)
+			f.right = append(f.right, 0)
+			continue
+		}
+		f.feat = append(f.feat, int32(n.feat))
+		f.val = append(f.val, n.thr)
+		f.left = append(f.left, base+int32(n.left))
+		f.right = append(f.right, base+int32(n.right))
+	}
+	return len(f.roots) - 1
+}
+
+// score returns the pre-scaled leaf value (lr·leaf) of tree ti for x.
+func (f *flatForest) score(ti int, x []float64) float64 {
+	i := f.roots[ti]
+	feat, val := f.feat, f.val
+	for {
+		ft := feat[i]
+		if ft < 0 {
+			return val[i]
+		}
+		if x[ft] <= val[i] {
+			i = f.left[i]
+		} else {
+			i = f.right[i]
+		}
+	}
+}
+
+// maxPerfDepth bounds the perfect-tree batch kernel: a padded tree costs
+// 2^(depth+1) slots, so only shallow ensembles (the default MaxDepth is 6)
+// get the dense layout. Deeper trees fall back to the pointer-free walk.
+const maxPerfDepth = 8
+
+// perfForest is the batch prediction kernel: every tree padded to a perfect
+// tree of uniform depth, nodes laid out breadth-first with implicit children
+// (node k → 2k+1, 2k+2), leaves pre-scaled by the learning rate. A walk is
+// exactly `depth` iterations with no leaf test and no child-index loads —
+// descending below an original leaf crosses padding nodes whose every
+// descendant holds that leaf's value, so the walk lands on the same result
+// the real tree produces, bit for bit. The uniform, branch-light walk is
+// what lets scoreBlock4 interleave four samples profitably.
+type perfForest struct {
+	ok      bool
+	depth   int
+	istride int // internal slots per tree: 2^depth - 1
+	lstride int // leaf slots per tree: 2^depth
+	feat    []int32
+	thr     []float64
+	leaf    []float64
+}
+
+// build lays out the ensemble as perfect trees, or marks the kernel unusable
+// (ok=false) when a tree exceeds maxPerfDepth — possible only for non-default
+// params or hand-crafted checkpoints; callers then use flatForest instead.
+func (p *perfForest) build(trees []*tree, maxDepth int, lr float64) {
+	p.ok = false
+	if maxDepth > maxPerfDepth {
+		return
+	}
+	for _, t := range trees {
+		if treeDepth(t, 0, 0) > maxDepth {
+			return
+		}
+	}
+	p.depth = maxDepth
+	p.istride = 1<<maxDepth - 1
+	p.lstride = 1 << maxDepth
+	p.feat = resizeI32(p.feat, len(trees)*p.istride)
+	p.thr = resizeF(p.thr, len(trees)*p.istride)
+	p.leaf = resizeF(p.leaf, len(trees)*p.lstride)
+	for ti, t := range trees {
+		p.fill(t, 0, ti*p.istride, ti*p.lstride, 0, 0, lr)
+	}
+	p.ok = true
+}
+
+func treeDepth(t *tree, ni, d int) int {
+	n := t.nodes[ni]
+	if n.isLeaf {
+		return d
+	}
+	ld := treeDepth(t, n.left, d+1)
+	if rd := treeDepth(t, n.right, d+1); rd > ld {
+		return rd
+	}
+	return ld
+}
+
+// fill writes the subtree of node ni at heap slot k (depth d). An original
+// leaf above the bottom becomes a padding subtree: its internal slots compare
+// feature 0 against +Inf (direction irrelevant — every descendant leaf holds
+// the same value) and all 2^(depth-d) bottom slots get the pre-scaled leaf.
+func (p *perfForest) fill(t *tree, ni, base, lbase, k, d int, lr float64) {
+	n := t.nodes[ni]
+	if d == p.depth {
+		p.leaf[lbase+k-p.istride] = lr * n.leaf
+		return
+	}
+	if n.isLeaf {
+		p.pad(base, lbase, k, d, lr*n.leaf)
+		return
+	}
+	p.feat[base+k] = int32(n.feat)
+	p.thr[base+k] = n.thr
+	p.fill(t, n.left, base, lbase, 2*k+1, d+1, lr)
+	p.fill(t, n.right, base, lbase, 2*k+2, d+1, lr)
+}
+
+// pad fills the perfect subtree under heap slot k (an original leaf at depth
+// d) with that leaf's value.
+func (p *perfForest) pad(base, lbase, k, d int, scaled float64) {
+	if d == p.depth {
+		p.leaf[lbase+k-p.istride] = scaled
+		return
+	}
+	p.feat[base+k] = 0
+	p.thr[base+k] = math.Inf(1)
+	p.pad(base, lbase, 2*k+1, d+1, scaled)
+	p.pad(base, lbase, 2*k+2, d+1, scaled)
+}
+
+// scoreBlock4 walks four samples through tree ti at once: `depth` uniform
+// iterations, each stepping four independent walks so the node and feature
+// loads of different lanes overlap (the one-at-a-time walk is bound by its
+// dependent-load chain). Comparisons are identical to the real tree's, so
+// each lane lands on the exact value score would return.
+func (p *perfForest) scoreBlock4(ti int, x0, x1, x2, x3 []float64) (s0, s1, s2, s3 float64) {
+	base, lbase := ti*p.istride, ti*p.lstride
+	feat := p.feat[base : base+p.istride]
+	thr := p.thr[base : base+p.istride]
+	k0, k1, k2, k3 := 0, 0, 0, 0
+	for d := 0; d < p.depth; d++ {
+		b0, b1, b2, b3 := 0, 0, 0, 0
+		if !(x0[feat[k0]] <= thr[k0]) {
+			b0 = 1
+		}
+		if !(x1[feat[k1]] <= thr[k1]) {
+			b1 = 1
+		}
+		if !(x2[feat[k2]] <= thr[k2]) {
+			b2 = 1
+		}
+		if !(x3[feat[k3]] <= thr[k3]) {
+			b3 = 1
+		}
+		k0 = 2*k0 + 1 + b0
+		k1 = 2*k1 + 1 + b1
+		k2 = 2*k2 + 1 + b2
+		k3 = 2*k3 + 1 + b3
+	}
+	leaf := p.leaf[lbase : lbase+p.lstride]
+	return leaf[k0-p.istride], leaf[k1-p.istride], leaf[k2-p.istride], leaf[k3-p.istride]
+}
+
+// score walks one sample — the remainder loop of a batch.
+func (p *perfForest) score(ti int, x []float64) float64 {
+	base := ti * p.istride
+	feat := p.feat[base : base+p.istride]
+	thr := p.thr[base : base+p.istride]
+	k := 0
+	for d := 0; d < p.depth; d++ {
+		b := 0
+		if !(x[feat[k]] <= thr[k]) {
+			b = 1
+		}
+		k = 2*k + 1 + b
+	}
+	return p.leaf[ti*p.lstride+k-p.istride]
+}
+
+// Runner fans n index-addressed jobs across workers and returns when all have
+// finished; job i must confine its writes to its own slot of the caller's
+// output. search.ParallelPool.Run satisfies it. A nil Runner runs inline.
+type Runner func(n int, fn func(i int))
+
 // Model is an online-refit GBDT regressor with a ridge-regression base
 // learner: the linear component supplies a smooth, everywhere-nonzero
 // gradient (important for the ratio-form RL reward, which would be exactly
@@ -69,6 +292,8 @@ func (t *tree) predict(x []float64) float64 {
 type Model struct {
 	P     Params
 	trees []*tree
+	flat  flatForest
+	perf  perfForest
 	base  float64
 	lin   []float64 // ridge weights over features (nil until fitted)
 	linMu []float64 // feature means used by the linear term
@@ -79,9 +304,36 @@ type Model struct {
 	ys []float64
 
 	// Histogram state rebuilt at each refit: per-feature bin edges and the
-	// binned training matrix (bin index per sample per feature).
+	// binned training matrix, flattened row-major (bins[i*dim+f] is sample
+	// i's bin for feature f).
 	edges [][]float64
-	bins  [][]uint8
+	bins  []uint8
+
+	// run, when set, parallelizes the independent scans of Refit (per-feature
+	// binning and split finding, per-sample residual updates) with a fixed
+	// slot-merge order, so the fitted ensemble is bit-identical for every
+	// worker count. search.Task points it at the task's pool before refits.
+	run Runner
+
+	// Scratch buffers reused across refits so the steady-state refit loop
+	// (~every measurement batch) stops churning the allocator.
+	resid      []float64
+	idx        []int
+	idxScratch []int
+	featVals   []float64 // per-feature sort scratch, dim×n
+	gainBuf    []float64
+	thrBuf     []float64
+
+	// split carries one bestSplit call's inputs and splitScan is the
+	// persistent per-feature scan closure reading them: a closure literal
+	// inside bestSplit would escape (it may be handed to the runner) and so
+	// allocate once per tree node — the dominant refit allocation otherwise.
+	split struct {
+		idx                     []int
+		resid                   []float64
+		n, total, totalSq, base float64
+	}
+	splitScan func(f int)
 }
 
 // New creates an empty model.
@@ -91,6 +343,11 @@ var (
 	_ CostModel    = (*Model)(nil)
 	_ Checkpointer = (*Model)(nil)
 )
+
+// SetRunner installs the parallel runner Refit fans its scans across. The
+// fitted ensemble is bit-identical with or without a runner; only wall-clock
+// time changes. Implements ParallelRefitter.
+func (m *Model) SetRunner(r Runner) { m.run = r }
 
 // Len returns the number of stored training samples.
 func (m *Model) Len() int { return len(m.xs) }
@@ -131,10 +388,56 @@ func (m *Model) Add(x []float64, y float64) {
 	}
 }
 
+// parallelChunk is the sample-chunk size of the parallel per-sample scans:
+// coarse enough that dispatch overhead stays negligible, fine enough that a
+// full training set spreads across a pool.
+const parallelChunk = 256
+
+// forSamples runs fn(i) for i in [0, n), fanning contiguous chunks across
+// the runner when one is set and the scan is large enough to amortize the
+// dispatch. fn must write only to per-index state; results are identical to
+// the inline loop regardless of worker count.
+func (m *Model) forSamples(n int, fn func(i int)) {
+	if m.run == nil || n < 2*parallelChunk {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunks := (n + parallelChunk - 1) / parallelChunk
+	m.run(chunks, func(c int) {
+		hi := (c + 1) * parallelChunk
+		if hi > n {
+			hi = n
+		}
+		for i := c * parallelChunk; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// forFeatures runs fn(f) for every feature, in parallel when a runner is set.
+// Each feature's work is independent and lands in its own slot, so the merge
+// order is fixed and the result worker-count-invariant.
+func (m *Model) forFeatures(d int, fn func(f int)) {
+	if m.run == nil || d < 2 {
+		for f := 0; f < d; f++ {
+			fn(f)
+		}
+		return
+	}
+	m.run(d, fn)
+}
+
 // Refit rebuilds the ensemble from the stored samples. With fewer samples
 // than MinSamples the model stays untrained and Predict returns the base.
+// Scan buffers are reused across calls and the independent scans fan across
+// the runner; the fitted ensemble is bit-identical to a serial, fresh-buffer
+// fit (the accumulation order of every floating-point reduction is fixed).
 func (m *Model) Refit() {
 	m.trees = nil
+	m.flat.reset()
+	m.perf.ok = false
 	m.lin = nil
 	n := len(m.xs)
 	if n == 0 {
@@ -156,44 +459,54 @@ func (m *Model) Refit() {
 	if n < m.P.MinSamples {
 		return
 	}
-	resid := make([]float64, n)
+	m.resid = resizeF(m.resid, n)
+	resid := m.resid
 	for i, y := range m.ys {
 		resid[i] = y - m.base
 	}
 	m.fitLinear(resid)
-	for i := range resid {
+	m.forSamples(n, func(i int) {
 		resid[i] -= m.linearTerm(m.xs[i])
-	}
+	})
 	m.buildBins()
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
+	m.idx = resizeI(m.idx, n)
 	for t := 0; t < m.P.NumTrees; t++ {
-		tr := m.buildTree(idx, resid, 0)
-		m.trees = append(m.trees, tr)
-		for i := range resid {
-			resid[i] -= m.P.LearningRate * tr.predict(m.xs[i])
+		// Each tree partitions m.idx in place as it grows; reset to identity
+		// so every tree's root scans samples in the same (input) order.
+		for i := range m.idx {
+			m.idx[i] = i
 		}
+		tr := m.buildTree(resid)
+		m.trees = append(m.trees, tr)
+		ti := m.flat.addTree(tr, m.P.LearningRate)
+		m.forSamples(n, func(i int) {
+			resid[i] -= m.flat.score(ti, m.xs[i])
+		})
 	}
+	m.perf.build(m.trees, m.P.MaxDepth, m.P.LearningRate)
 }
 
 // numBins is the histogram resolution of the split finder.
 const numBins = 32
 
 // buildBins computes per-feature quantile bin edges over the training set and
-// the binned sample matrix used by bestSplit.
+// the binned sample matrix used by bestSplit. Features bin independently (one
+// slot each), so the per-feature scans fan across the runner.
 func (m *Model) buildBins() {
 	n := len(m.xs)
 	d := len(m.xs[0])
-	m.edges = make([][]float64, d)
-	vals := make([]float64, n)
-	for f := 0; f < d; f++ {
+	if cap(m.edges) < d {
+		m.edges = make([][]float64, d)
+	}
+	m.edges = m.edges[:d]
+	m.featVals = resizeF(m.featVals, d*n)
+	m.forFeatures(d, func(f int) {
+		vals := m.featVals[f*n : (f+1)*n]
 		for i, x := range m.xs {
 			vals[i] = x[f]
 		}
 		sort.Float64s(vals)
-		edges := make([]float64, 0, numBins-1)
+		edges := m.edges[f][:0]
 		for b := 1; b < numBins; b++ {
 			e := vals[(n-1)*b/numBins]
 			if len(edges) == 0 || e > edges[len(edges)-1] {
@@ -201,25 +514,40 @@ func (m *Model) buildBins() {
 			}
 		}
 		m.edges[f] = edges
-	}
-	m.bins = make([][]uint8, n)
-	for i, x := range m.xs {
-		row := make([]uint8, d)
+	})
+	m.bins = resizeU8(m.bins, n*d)
+	m.forSamples(n, func(i int) {
+		x := m.xs[i]
+		row := m.bins[i*d : (i+1)*d]
 		for f := 0; f < d; f++ {
 			row[f] = uint8(sort.SearchFloat64s(m.edges[f], x[f]))
 		}
-		m.bins[i] = row
-	}
+	})
 }
 
-func (m *Model) buildTree(idx []int, resid []float64, _ int) *tree {
-	tr := &tree{}
-	m.grow(tr, idx, resid, 0)
+// buildTree grows one regression tree over m.idx (reset to identity by the
+// caller). The node slice is pre-sized to the tree's bound — min(full tree of
+// MaxDepth, one node per sample pair) — so growing never reallocates it.
+func (m *Model) buildTree(resid []float64) *tree {
+	maxNodes := 2*len(m.idx) - 1
+	if m.P.MaxDepth < 20 {
+		if full := 1<<(m.P.MaxDepth+1) - 1; full < maxNodes {
+			maxNodes = full
+		}
+	}
+	tr := &tree{nodes: make([]node, 0, maxNodes)}
+	m.grow(tr, 0, len(m.idx), resid, 0)
 	return tr
 }
 
-// grow appends the subtree for the samples in idx and returns its root index.
-func (m *Model) grow(tr *tree, idx []int, resid []float64, depth int) int {
+// grow appends the subtree for the samples in m.idx[lo:hi] and returns its
+// root index. Instead of allocating left/right index slices per node, the
+// range is stably partitioned in place (the scratch buffer holds the right
+// side), which preserves exactly the relative sample order the slice-append
+// implementation produced — every reduction scans samples in the same order,
+// so the tree is bit-identical.
+func (m *Model) grow(tr *tree, lo, hi int, resid []float64, depth int) int {
+	idx := m.idx[lo:hi]
 	me := len(tr.nodes)
 	tr.nodes = append(tr.nodes, node{isLeaf: true, leaf: meanAt(resid, idx)})
 	if depth >= m.P.MaxDepth || len(idx) < m.P.MinSamples {
@@ -229,28 +557,44 @@ func (m *Model) grow(tr *tree, idx []int, resid []float64, depth int) int {
 	if gain <= 1e-12 {
 		return me
 	}
-	var li, ri []int
-	for _, i := range idx {
-		if m.xs[i][feat] <= thr {
-			li = append(li, i)
-		} else {
-			ri = append(ri, i)
-		}
-	}
-	if len(li) == 0 || len(ri) == 0 {
+	mid := m.partition(lo, hi, feat, thr)
+	if mid == lo || mid == hi {
 		return me
 	}
-	l := m.grow(tr, li, resid, depth+1)
-	r := m.grow(tr, ri, resid, depth+1)
+	l := m.grow(tr, lo, mid, resid, depth+1)
+	r := m.grow(tr, mid, hi, resid, depth+1)
 	tr.nodes[me] = node{feat: feat, thr: thr, left: l, right: r}
 	return me
+}
+
+// partition stably reorders m.idx[lo:hi] so samples with x[feat] <= thr come
+// first, returning the boundary. Relative order within each side is
+// preserved (the property grow's determinism rests on).
+func (m *Model) partition(lo, hi, feat int, thr float64) int {
+	m.idxScratch = m.idxScratch[:0]
+	w := lo
+	for r := lo; r < hi; r++ {
+		i := m.idx[r]
+		if m.xs[i][feat] <= thr {
+			m.idx[w] = i
+			w++
+		} else {
+			m.idxScratch = append(m.idxScratch, i)
+		}
+	}
+	copy(m.idx[w:hi], m.idxScratch)
+	return w
 }
 
 // bestSplit finds the split with the largest sum-of-squared-error reduction
 // using the histogram method: accumulate per-bin (count, sum, sum²) for every
 // feature in one pass over the node's samples, then scan the bin boundaries.
+// Features scan independently into per-feature slots, then merge serially in
+// feature order with the same strict-greater comparison the one-pass scan
+// used — the first (feature, bin) pair reaching the maximal gain wins either
+// way, so the chosen split is identical.
 func (m *Model) bestSplit(idx []int, resid []float64) (feat int, thr, gain float64) {
-	nFeat := len(m.edges)
+	d := len(m.edges)
 	total, totalSq := 0.0, 0.0
 	for _, i := range idx {
 		total += resid[i]
@@ -259,44 +603,76 @@ func (m *Model) bestSplit(idx []int, resid []float64) (feat int, thr, gain float
 	n := float64(len(idx))
 	baseSSE := totalSq - total*total/n
 
-	var cnt [numBins]float64
-	var sum [numBins]float64
-	var sq [numBins]float64
+	m.gainBuf = resizeF(m.gainBuf, d)
+	m.thrBuf = resizeF(m.thrBuf, d)
+	m.split.idx, m.split.resid = idx, resid
+	m.split.n, m.split.total, m.split.totalSq, m.split.base = n, total, totalSq, baseSSE
+	if m.splitScan == nil {
+		m.splitScan = m.scanFeature
+	}
+	// Only large nodes repay the dispatch; the gate depends solely on the
+	// node size, so the parallel and serial paths pick identical splits.
+	if m.run != nil && len(idx) >= 2*parallelChunk {
+		m.run(d, m.splitScan)
+	} else {
+		for f := 0; f < d; f++ {
+			m.splitScan(f)
+		}
+	}
+	m.split.idx, m.split.resid = nil, nil
 	feat, gain = -1, 0
-	for f := 0; f < nFeat; f++ {
-		edges := m.edges[f]
-		if len(edges) == 0 {
-			continue
-		}
-		for b := 0; b <= len(edges); b++ {
-			cnt[b], sum[b], sq[b] = 0, 0, 0
-		}
-		for _, i := range idx {
-			b := m.bins[i][f]
-			r := resid[i]
-			cnt[b]++
-			sum[b] += r
-			sq[b] += r * r
-		}
-		lN, lSum, lSq := 0.0, 0.0, 0.0
-		for b := 0; b < len(edges); b++ {
-			lN += cnt[b]
-			lSum += sum[b]
-			lSq += sq[b]
-			if lN == 0 || lN == n {
-				continue
-			}
-			rSum, rSq, rN := total-lSum, totalSq-lSq, n-lN
-			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
-			if g := baseSSE - sse; g > gain {
-				feat, thr, gain = f, edges[b], g
-			}
+	for f := 0; f < d; f++ {
+		if m.gainBuf[f] > gain {
+			feat, thr, gain = f, m.thrBuf[f], m.gainBuf[f]
 		}
 	}
 	if feat < 0 {
 		return 0, 0, 0
 	}
 	return feat, thr, gain
+}
+
+// scanFeature is the per-feature histogram scan of bestSplit (inputs in
+// m.split, result in m.gainBuf[f]/m.thrBuf[f]): per-bin count/sum/sum² over
+// the node's samples, then a boundary scan tracking the feature's first best
+// gain under the same strict-greater comparison the one-pass serial scan
+// used.
+func (m *Model) scanFeature(f int) {
+	m.gainBuf[f], m.thrBuf[f] = 0, 0
+	edges := m.edges[f]
+	if len(edges) == 0 {
+		return
+	}
+	d := len(m.edges)
+	idx, resid := m.split.idx, m.split.resid
+	n, total, totalSq, baseSSE := m.split.n, m.split.total, m.split.totalSq, m.split.base
+	var cnt, sum, sq [numBins]float64
+	for b := 0; b <= len(edges); b++ {
+		cnt[b], sum[b], sq[b] = 0, 0, 0
+	}
+	for _, i := range idx {
+		b := m.bins[i*d+f]
+		r := resid[i]
+		cnt[b]++
+		sum[b] += r
+		sq[b] += r * r
+	}
+	bestG, bestT := 0.0, 0.0
+	lN, lSum, lSq := 0.0, 0.0, 0.0
+	for b := 0; b < len(edges); b++ {
+		lN += cnt[b]
+		lSum += sum[b]
+		lSq += sq[b]
+		if lN == 0 || lN == n {
+			continue
+		}
+		rSum, rSq, rN := total-lSum, totalSq-lSq, n-lN
+		sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
+		if g := baseSSE - sse; g > bestG {
+			bestG, bestT = g, edges[b]
+		}
+	}
+	m.gainBuf[f], m.thrBuf[f] = bestG, bestT
 }
 
 func meanAt(resid []float64, idx []int) float64 {
@@ -406,8 +782,8 @@ func (m *Model) Predict(x []float64) float64 {
 		return m.clamp(m.base)
 	}
 	y := m.base + m.linearTerm(x)
-	for _, t := range m.trees {
-		y += m.P.LearningRate * t.predict(x)
+	for t := 0; t < m.flat.numTrees(); t++ {
+		y += m.flat.score(t, x)
 	}
 	if m.Trained() {
 		y = m.clamp(y)
@@ -434,13 +810,22 @@ func (m *Model) clamp(y float64) float64 {
 }
 
 // PredictBatch predicts a slice of feature vectors in a single pass over the
-// ensemble: the base + linear term once per sample, then each tree traversed
-// for the whole batch before the next (one hot tree in cache at a time,
-// instead of re-walking the full ensemble per sample as a Predict loop
-// would). The accumulation order per sample matches Predict exactly, so the
-// results are bit-identical to element-wise Predict.
+// ensemble; see PredictBatchInto for the kernel. The accumulation order per
+// sample matches Predict exactly, so the results are bit-identical to
+// element-wise Predict.
 func (m *Model) PredictBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
+	m.PredictBatchInto(xs, out)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-owned slice (len(xs)
+// long), so steady-state batch scorers allocate nothing per call. It iterates
+// trees-outer/samples-inner over the flat arrays — one hot tree in cache at a
+// time, instead of re-walking the full ensemble per sample as a Predict loop
+// would — with the exact accumulation order of Predict, so results are
+// bit-identical to the element-wise path. Implements BatchInto.
+func (m *Model) PredictBatchInto(xs [][]float64, out []float64) {
 	var bad []bool
 	for i, x := range xs {
 		if !m.conforms(x) {
@@ -448,25 +833,45 @@ func (m *Model) PredictBatch(xs [][]float64) []float64 {
 				bad = make([]bool, len(xs))
 			}
 			bad[i] = true
+			out[i] = 0
 			continue
 		}
 		out[i] = m.base + m.linearTerm(x)
 	}
-	for _, t := range m.trees {
+	for t := 0; t < m.flat.numTrees(); t++ {
+		if bad == nil && m.perf.ok {
+			i := 0
+			for ; i+4 <= len(xs); i += 4 {
+				s0, s1, s2, s3 := m.perf.scoreBlock4(t, xs[i], xs[i+1], xs[i+2], xs[i+3])
+				out[i] += s0
+				out[i+1] += s1
+				out[i+2] += s2
+				out[i+3] += s3
+			}
+			for ; i < len(xs); i++ {
+				out[i] += m.perf.score(t, xs[i])
+			}
+			continue
+		}
+		if bad == nil {
+			for i, x := range xs {
+				out[i] += m.flat.score(t, x)
+			}
+			continue
+		}
 		for i, x := range xs {
-			if bad == nil || !bad[i] {
-				out[i] += m.P.LearningRate * t.predict(x)
+			if !bad[i] {
+				out[i] += m.flat.score(t, x)
 			}
 		}
 	}
-	for i := range out {
+	for i := range out[:len(xs)] {
 		if bad != nil && bad[i] {
 			out[i] = m.clamp(m.base)
 		} else if m.Trained() {
 			out[i] = m.clamp(out[i])
 		}
 	}
-	return out
 }
 
 // Throughput converts a prediction into a strictly positive score usable as
@@ -475,14 +880,28 @@ func (m *Model) Throughput(x []float64) float64 {
 	return ToThroughput(m.Predict(x))
 }
 
+// reflatten rebuilds the flat prediction kernels from the pointer trees —
+// the checkpoint-load and Clone paths, where trees appear without going
+// through Refit.
+func (m *Model) reflatten() {
+	m.flat.reset()
+	for _, t := range m.trees {
+		m.flat.addTree(t, m.P.LearningRate)
+	}
+	m.perf.build(m.trees, m.P.MaxDepth, m.P.LearningRate)
+}
+
 // Clone returns a deep copy of the model — fitted ensemble and training set —
 // so one pretrained or checkpointed model can seed many independent tasks
-// (each task refits its copy as new measurements arrive).
+// (each task refits its copy as new measurements arrive). Scratch buffers and
+// the runner are not carried over: the clone belongs to a different task,
+// which installs its own pool before the first refit.
 func (m *Model) Clone() *Model {
 	c := &Model{P: m.P, base: m.base, yMin: m.yMin, yMax: m.yMax}
 	for _, t := range m.trees {
 		c.trees = append(c.trees, &tree{nodes: append([]node(nil), t.nodes...)})
 	}
+	c.reflatten()
 	if m.lin != nil {
 		c.lin = append([]float64(nil), m.lin...)
 		c.linMu = append([]float64(nil), m.linMu...)
@@ -502,4 +921,33 @@ func (m *Model) Merge(o *Model) {
 	for i, x := range o.xs {
 		m.Add(x, o.ys[i])
 	}
+}
+
+// resizeF returns buf with length n, reusing its capacity when possible.
+func resizeF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func resizeI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func resizeI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func resizeU8(buf []uint8, n int) []uint8 {
+	if cap(buf) < n {
+		return make([]uint8, n)
+	}
+	return buf[:n]
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 
 	"harl/internal/core"
 	"harl/internal/hardware"
@@ -47,12 +48,23 @@ type Config struct {
 	Workers int
 }
 
-// workers resolves the configured pool width (0 means single-threaded).
-func (c Config) workers() int {
+// EffectiveWorkers resolves the configured pool width to the worker count
+// the tuning jobs actually run with: 0 means single-threaded and < 0 selects
+// runtime.NumCPU(). Summaries record this resolved value, not the raw flag
+// default, so a BENCH trace says how wide the run really was.
+func (c Config) EffectiveWorkers() int {
 	if c.Workers == 0 {
 		return 1
 	}
+	if c.Workers < 0 {
+		return runtime.NumCPU()
+	}
 	return c.Workers
+}
+
+// workers resolves the configured pool width (0 means single-threaded).
+func (c Config) workers() int {
+	return c.EffectiveWorkers()
 }
 
 // Scaled returns the default reduced-budget configuration used by the bench

@@ -53,7 +53,7 @@ func NewSummary(id string, cfg Config, duration time.Duration, output string) Su
 		ConfigsPerCategory: cfg.ConfigsPerCategory,
 		Batches:            cfg.Batches,
 		NetworkBudgetScale: cfg.NetworkBudgetScale,
-		Workers:            cfg.Workers,
+		Workers:            cfg.EffectiveWorkers(),
 		DurationMS:         float64(duration.Microseconds()) / 1e3,
 		Measured:           obs.Measured,
 		MeasureSaved:       obs.MeasureSaved,

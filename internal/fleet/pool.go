@@ -26,6 +26,11 @@ type Config struct {
 	BackoffBase time.Duration
 	// HealthInterval is the period of the background health-check loop.
 	HealthInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe. It is deliberately independent
+	// of HealthInterval: a fast poll period must not impose a deadline a
+	// healthy-but-busy worker (or a loaded single-core coordinator) misses,
+	// since consecutive probe misses eject the worker from rotation.
+	ProbeTimeout time.Duration
 	// EjectAfter is the number of consecutive failures (dispatch or probe)
 	// after which a worker is ejected from rotation. A later successful probe
 	// readmits it.
@@ -42,6 +47,7 @@ const (
 	defaultRetries        = 2
 	defaultBackoffBase    = 100 * time.Millisecond
 	defaultHealthInterval = 2 * time.Second
+	defaultProbeTimeout   = 2 * time.Second
 	defaultEjectAfter     = 3
 	defaultConcurrency    = 4
 )
@@ -60,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HealthInterval <= 0 {
 		c.HealthInterval = defaultHealthInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = defaultProbeTimeout
 	}
 	if c.EjectAfter <= 0 {
 		c.EjectAfter = defaultEjectAfter
@@ -332,7 +341,7 @@ func (p *Pool) probeAll() {
 }
 
 func (p *Pool) probe(endpoint string) (*HealthResponse, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.HealthInterval)
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint+"/healthz", nil)
 	if err != nil {

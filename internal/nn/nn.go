@@ -41,15 +41,34 @@ func NewLinear(in, out int, rng *xrand.RNG) *Linear {
 	return l
 }
 
+// grow returns dst resized to n, reusing its backing array when it is large
+// enough. Contents are unspecified: every caller fully overwrites or zeroes.
+func grow(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
 // Forward computes y = Wx + b.
 func (l *Linear) Forward(x []float64) []float64 {
+	return l.ForwardInto(nil, x)
+}
+
+// ForwardInto is Forward writing into dst (grown as needed and returned) —
+// the same arithmetic in the same order, minus the per-call allocation. The
+// PPO training loop calls these kernels per sample per epoch, so the
+// allocation, not the arithmetic, is what buffer reuse saves.
+func (l *Linear) ForwardInto(dst, x []float64) []float64 {
 	if len(x) != l.In {
 		panic(fmt.Sprintf("nn: Linear forward dim %d != %d", len(x), l.In))
 	}
-	y := make([]float64, l.Out)
+	y := grow(dst, l.Out)
 	for o := 0; o < l.Out; o++ {
 		s := l.B[o]
-		row := l.W[o*l.In : (o+1)*l.In]
+		// Re-slicing to len(x) lets the compiler drop the per-element bounds
+		// check; the accumulation order is untouched (bit-identical results).
+		row := l.W[o*l.In : (o+1)*l.In][:len(x)]
 		for i, xi := range x {
 			s += row[i] * xi
 		}
@@ -61,15 +80,27 @@ func (l *Linear) Forward(x []float64) []float64 {
 // Backward accumulates parameter gradients given the layer input x and the
 // output gradient dy, and returns the input gradient dx.
 func (l *Linear) Backward(x, dy []float64) []float64 {
-	dx := make([]float64, l.In)
+	return l.BackwardInto(nil, x, dy)
+}
+
+// BackwardInto is Backward writing the input gradient into dst (grown as
+// needed, zeroed here, returned). Bit-identical to Backward.
+func (l *Linear) BackwardInto(dst, x, dy []float64) []float64 {
+	dx := grow(dst, l.In)
+	for i := range dx {
+		dx[i] = 0
+	}
 	for o := 0; o < l.Out; o++ {
 		g := dy[o]
 		l.gB[o] += g
-		row := l.W[o*l.In : (o+1)*l.In]
-		grow := l.gW[o*l.In : (o+1)*l.In]
+		// Bounds-check elimination as in Forward; per-element arithmetic and
+		// accumulation order are untouched (bit-identical results).
+		row := l.W[o*l.In : (o+1)*l.In][:len(x)]
+		gw := l.gW[o*l.In : (o+1)*l.In][:len(x)]
+		dxs := dx[:len(x)]
 		for i, xi := range x {
-			grow[i] += g * xi
-			dx[i] += row[i] * g
+			gw[i] += g * xi
+			dxs[i] += row[i] * g
 		}
 	}
 	return dx
@@ -115,6 +146,12 @@ func adam(w, g, m, v []float64, lr float64, batch, t int) {
 // after the last layer).
 type MLP struct {
 	Layers []*Linear
+
+	// Scratch for ForwardReuse/BackwardReuse: per-layer outputs, per-layer
+	// input gradients and one backprop cache, reused across calls.
+	outs  [][]float64
+	dxs   [][]float64
+	cache Cache
 }
 
 // NewMLP builds an MLP with the given layer sizes, e.g. (in, 64, 64, out).
@@ -167,6 +204,51 @@ func (m *MLP) Backward(c *Cache, dy []float64) []float64 {
 	return g
 }
 
+// ForwardReuse is Forward through buffers owned by the MLP: the returned
+// output and cache (and the slices the cache references) are valid only
+// until the next ForwardReuse call on this MLP. Bit-identical to Forward.
+func (m *MLP) ForwardReuse(x []float64) ([]float64, *Cache) {
+	if m.outs == nil {
+		m.outs = make([][]float64, len(m.Layers))
+	}
+	c := &m.cache
+	c.inputs = c.inputs[:0]
+	h := x
+	for i, l := range m.Layers {
+		c.inputs = append(c.inputs, h)
+		m.outs[i] = l.ForwardInto(m.outs[i], h)
+		h = m.outs[i]
+		if i+1 < len(m.Layers) {
+			for j := range h {
+				h[j] = math.Tanh(h[j])
+			}
+		}
+	}
+	return h, c
+}
+
+// BackwardReuse is Backward through buffers owned by the MLP: the returned
+// input gradient is valid only until the next BackwardReuse call on this
+// MLP. Like Backward it mutates dy in place. Bit-identical to Backward.
+func (m *MLP) BackwardReuse(c *Cache, dy []float64) []float64 {
+	if m.dxs == nil {
+		m.dxs = make([][]float64, len(m.Layers))
+	}
+	g := dy
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		if i < len(m.Layers)-1 {
+			// The cached input of layer i+1 is tanh(z_i); d tanh = 1 - tanh².
+			act := c.inputs[i+1]
+			for j := range g {
+				g[j] *= 1 - act[j]*act[j]
+			}
+		}
+		m.dxs[i] = m.Layers[i].BackwardInto(m.dxs[i], c.inputs[i], g)
+		g = m.dxs[i]
+	}
+	return g
+}
+
 // Step applies Adam to every layer.
 func (m *MLP) Step(lr float64, batch, t int) {
 	for _, l := range m.Layers {
@@ -192,13 +274,18 @@ func (m *MLP) NumParams() int {
 
 // Softmax returns the softmax of the logits (numerically stabilized).
 func Softmax(logits []float64) []float64 {
+	return SoftmaxInto(nil, logits)
+}
+
+// SoftmaxInto is Softmax writing into dst (grown as needed, returned).
+func SoftmaxInto(dst, logits []float64) []float64 {
 	maxL := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxL {
 			maxL = v
 		}
 	}
-	out := make([]float64, len(logits))
+	out := grow(dst, len(logits))
 	sum := 0.0
 	for i, v := range logits {
 		out[i] = math.Exp(v - maxL)
@@ -245,7 +332,13 @@ func Entropy(probs []float64) float64 {
 
 // LogProbGrad returns d log p[a] / d logits = onehot(a) - probs.
 func LogProbGrad(probs []float64, a int) []float64 {
-	g := make([]float64, len(probs))
+	return LogProbGradInto(nil, probs, a)
+}
+
+// LogProbGradInto is LogProbGrad writing into dst (grown as needed,
+// returned).
+func LogProbGradInto(dst, probs []float64, a int) []float64 {
+	g := grow(dst, len(probs))
 	for i, p := range probs {
 		g[i] = -p
 	}
@@ -255,11 +348,19 @@ func LogProbGrad(probs []float64, a int) []float64 {
 
 // EntropyGrad returns d H / d logits = -p_i (log p_i + H).
 func EntropyGrad(probs []float64) []float64 {
+	return EntropyGradInto(nil, probs)
+}
+
+// EntropyGradInto is EntropyGrad writing into dst (grown as needed,
+// returned).
+func EntropyGradInto(dst, probs []float64) []float64 {
 	h := Entropy(probs)
-	g := make([]float64, len(probs))
+	g := grow(dst, len(probs))
 	for i, p := range probs {
 		if p > 1e-12 {
 			g[i] = -p * (math.Log(p) + h)
+		} else {
+			g[i] = 0
 		}
 	}
 	return g

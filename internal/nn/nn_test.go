@@ -226,6 +226,130 @@ func TestNumParams(t *testing.T) {
 	}
 }
 
+// TestReusePathsBitIdentical pins the buffer-reuse kernels (ForwardInto,
+// BackwardInto, ForwardReuse, BackwardReuse, SoftmaxInto, LogProbGradInto,
+// EntropyGradInto) to their allocating counterparts bit for bit: the PPO hot
+// path switched to them, and the tuner's workers=1 ≡ workers=N journal
+// contract tolerates zero drift.
+func TestReusePathsBitIdentical(t *testing.T) {
+	// Two identically-seeded layers, one driven through each path, so the
+	// accumulated gW/gB can be compared as well as the returned slices.
+	la := NewLinear(5, 4, xrand.New(7))
+	lb := NewLinear(5, 4, xrand.New(7))
+	var yBuf, dxBuf []float64
+	for iter := 0; iter < 3; iter++ {
+		x := []float64{0.3, -1.2, 0.05, 2.4, -0.7}
+		dy := []float64{1, -0.5, 0.25, 0.8}
+		ya := la.Forward(x)
+		yBuf = lb.ForwardInto(yBuf, x)
+		for i := range ya {
+			if ya[i] != yBuf[i] {
+				t.Fatalf("iter %d ForwardInto[%d] = %g want %g", iter, i, yBuf[i], ya[i])
+			}
+		}
+		dxa := la.Backward(x, dy)
+		dxBuf = lb.BackwardInto(dxBuf, x, dy)
+		for i := range dxa {
+			if dxa[i] != dxBuf[i] {
+				t.Fatalf("iter %d BackwardInto dx[%d] = %g want %g", iter, i, dxBuf[i], dxa[i])
+			}
+		}
+		for i := range la.gW {
+			if la.gW[i] != lb.gW[i] {
+				t.Fatalf("iter %d gW[%d] = %g want %g", iter, i, lb.gW[i], la.gW[i])
+			}
+		}
+		for i := range la.gB {
+			if la.gB[i] != lb.gB[i] {
+				t.Fatalf("iter %d gB[%d] = %g want %g", iter, i, lb.gB[i], la.gB[i])
+			}
+		}
+	}
+
+	ma := NewMLP(xrand.New(8), 4, 6, 3)
+	mb := NewMLP(xrand.New(8), 4, 6, 3)
+	for iter := 0; iter < 3; iter++ {
+		x := []float64{0.2, -0.4, 0.7, float64(iter)}
+		dy := []float64{1, 2, -0.5}
+		ya, ca := ma.Forward(x)
+		yb, cb := mb.ForwardReuse(x)
+		for i := range ya {
+			if ya[i] != yb[i] {
+				t.Fatalf("iter %d ForwardReuse[%d] = %g want %g", iter, i, yb[i], ya[i])
+			}
+		}
+		// Backward mutates dy, so feed each path its own copy.
+		ga := ma.Backward(ca, append([]float64(nil), dy...))
+		gb := mb.BackwardReuse(cb, append([]float64(nil), dy...))
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("iter %d BackwardReuse dx[%d] = %g want %g", iter, i, gb[i], ga[i])
+			}
+		}
+		for li := range ma.Layers {
+			for i := range ma.Layers[li].gW {
+				if ma.Layers[li].gW[i] != mb.Layers[li].gW[i] {
+					t.Fatalf("iter %d layer %d gW[%d] differs", iter, li, i)
+				}
+			}
+		}
+	}
+
+	probs := Softmax([]float64{0.5, -1, 2, 0.1})
+	var pBuf, gBuf, eBuf []float64
+	pBuf = SoftmaxInto(pBuf, []float64{0.5, -1, 2, 0.1})
+	for i := range probs {
+		if probs[i] != pBuf[i] {
+			t.Fatalf("SoftmaxInto[%d] = %g want %g", i, pBuf[i], probs[i])
+		}
+	}
+	// Seed the reusable buffers with garbage to catch stale-value leaks (the
+	// allocating paths start from zeroed memory).
+	gBuf = []float64{99, 99, 99, 99}
+	eBuf = []float64{99, 99, 99, 99}
+	ga, ea := LogProbGrad(probs, 2), EntropyGrad(probs)
+	gBuf = LogProbGradInto(gBuf, probs, 2)
+	eBuf = EntropyGradInto(eBuf, probs)
+	for i := range ga {
+		if ga[i] != gBuf[i] || ea[i] != eBuf[i] {
+			t.Fatalf("grad Into[%d]: logp %g/%g entropy %g/%g", i, gBuf[i], ga[i], eBuf[i], ea[i])
+		}
+	}
+	// EntropyGrad leaves clamped-away entries at zero; the reuse path must
+	// overwrite stale contents there too.
+	clamped := []float64{1, 0, 0}
+	eBuf = []float64{99, 99, 99}
+	eBuf = EntropyGradInto(eBuf, clamped)
+	for i, v := range EntropyGrad(clamped) {
+		if eBuf[i] != v {
+			t.Fatalf("EntropyGradInto clamped[%d] = %g want %g", i, eBuf[i], v)
+		}
+	}
+}
+
+// TestReusePathsAllocFree pins the point of the reuse APIs: with warm
+// buffers the hot kernels allocate nothing.
+func TestReusePathsAllocFree(t *testing.T) {
+	l := NewLinear(8, 4, xrand.New(9))
+	m := NewMLP(xrand.New(9), 8, 16, 4)
+	x := make([]float64, 8)
+	dy := []float64{1, -1, 0.5, 2}
+	var yBuf, dxBuf, pBuf, gBuf []float64
+	warm := func() {
+		yBuf = l.ForwardInto(yBuf, x)
+		dxBuf = l.BackwardInto(dxBuf, x, dy)
+		out, c := m.ForwardReuse(x)
+		m.BackwardReuse(c, out)
+		pBuf = SoftmaxInto(pBuf, dy)
+		gBuf = LogProbGradInto(gBuf, pBuf, 0)
+		gBuf = EntropyGradInto(gBuf, pBuf)
+	}
+	warm()
+	if got := testing.AllocsPerRun(20, warm); got != 0 {
+		t.Fatalf("warm reuse kernels allocate %v times per run, want 0", got)
+	}
+}
+
 func TestAdamStepReducesLoss(t *testing.T) {
 	rng := xrand.New(6)
 	l := NewLinear(1, 1, rng)

@@ -88,6 +88,22 @@ type Agent struct {
 	adamT   int
 	updates int
 	rng     *xrand.RNG
+
+	// Scratch reused across forwardActor/accumulate calls. Train runs
+	// Epochs×MiniBatch per-sample passes, so fresh slices here dominated the
+	// tuner's allocation profile; reuse is bit-identical (same arithmetic in
+	// the same order) and safe because an Agent is driven by one goroutine
+	// and every caller consumes the returned slices before the next call.
+	hBuf     []float64   // trunk-output tanh activation
+	probsBuf [][]float64 // per-head probability vectors
+	logitBuf [][]float64 // per-head logits
+	dhBuf    []float64   // gradient w.r.t. the trunk-output activation
+	dlogBuf  []float64   // per-head d log p / d logits
+	entBuf   []float64   // per-head d H / d logits
+	headDx   []float64   // per-head input gradient (heads share In=Hidden)
+	dvBuf    [1]float64  // critic output gradient
+	picks    []int       // minibatch sample indices
+	advs     []float64   // minibatch advantages
 }
 
 // NewAgent builds an agent for the given state dimensionality and per-head
@@ -110,16 +126,25 @@ func NewAgent(stateDim int, headSizes []int, cfg Config, rng *xrand.RNG) *Agent 
 func (a *Agent) Updates() int { return a.updates }
 
 // forwardActor runs the trunk and heads, returning the hidden activation,
-// the trunk cache and per-head probability vectors.
+// the trunk cache and per-head probability vectors. Everything returned
+// lives in agent-owned scratch, valid until the next forwardActor call.
 func (a *Agent) forwardActor(state []float64) ([]float64, *nn.Cache, [][]float64) {
-	z, cache := a.trunk.Forward(state)
-	h := make([]float64, len(z))
+	z, cache := a.trunk.ForwardReuse(state)
+	if cap(a.hBuf) < len(z) {
+		a.hBuf = make([]float64, len(z))
+	}
+	h := a.hBuf[:len(z)]
 	for i, v := range z {
 		h[i] = math.Tanh(v)
 	}
-	probs := make([][]float64, len(a.heads))
+	if a.probsBuf == nil {
+		a.probsBuf = make([][]float64, len(a.heads))
+		a.logitBuf = make([][]float64, len(a.heads))
+	}
+	probs := a.probsBuf
 	for k, head := range a.heads {
-		probs[k] = nn.Softmax(head.Forward(h))
+		a.logitBuf[k] = head.ForwardInto(a.logitBuf[k], h)
+		probs[k] = nn.SoftmaxInto(probs[k], a.logitBuf[k])
 	}
 	return h, cache, probs
 }
@@ -149,7 +174,7 @@ func (a *Agent) GreedyAct(state []float64) []int {
 
 // Value returns the critic's estimate V(s).
 func (a *Agent) Value(state []float64) float64 {
-	v, _ := a.critic.Forward(state)
+	v, _ := a.critic.ForwardReuse(state)
 	return v[0]
 }
 
@@ -190,8 +215,11 @@ func (a *Agent) Train() {
 	if batch > n {
 		batch = n
 	}
-	picks := make([]int, batch)
-	advs := make([]float64, batch)
+	if cap(a.picks) < batch {
+		a.picks = make([]int, batch)
+		a.advs = make([]float64, batch)
+	}
+	picks, advs := a.picks[:batch], a.advs[:batch]
 	for ep := 0; ep < a.Cfg.Epochs; ep++ {
 		a.trunk.ZeroGrad()
 		a.critic.ZeroGrad()
@@ -227,9 +255,9 @@ func (a *Agent) Train() {
 func (a *Agent) accumulate(t Transition, adv float64) {
 	// ----- critic: w_mse * (V(s) - (r + γ·V_old(s')))² ------------------------
 	target := t.Reward + a.Cfg.Gamma*t.NextValue
-	v, vc := a.critic.Forward(t.State)
-	dv := 2 * a.Cfg.WMSE * (v[0] - target)
-	a.critic.Backward(vc, []float64{dv})
+	v, vc := a.critic.ForwardReuse(t.State)
+	a.dvBuf[0] = 2 * a.Cfg.WMSE * (v[0] - target)
+	a.critic.BackwardReuse(vc, a.dvBuf[:])
 
 	// ----- actor: clipped surrogate + entropy bonus --------------------------
 	h, cache, probs := a.forwardActor(t.State)
@@ -247,22 +275,31 @@ func (a *Agent) accumulate(t Transition, adv float64) {
 	} else if adv < 0 && ratio > 1-a.Cfg.ClipEps {
 		gradScale = -adv * ratio
 	}
-	dh := make([]float64, len(h))
+	if cap(a.dhBuf) < len(h) {
+		a.dhBuf = make([]float64, len(h))
+	}
+	dh := a.dhBuf[:len(h)]
+	for i := range dh {
+		dh[i] = 0
+	}
 	for k, head := range a.heads {
-		dlogits := nn.LogProbGrad(probs[k], t.Acts[k])
-		ent := nn.EntropyGrad(probs[k])
+		// The per-head scratch is shared across heads: heads are processed
+		// strictly sequentially and each iteration fully overwrites it.
+		a.dlogBuf = nn.LogProbGradInto(a.dlogBuf, probs[k], t.Acts[k])
+		a.entBuf = nn.EntropyGradInto(a.entBuf, probs[k])
+		dlogits, ent := a.dlogBuf, a.entBuf
 		for i := range dlogits {
 			dlogits[i] = gradScale*dlogits[i] - a.Cfg.WEntropy*ent[i]
 		}
-		dhk := head.Backward(h, dlogits)
+		a.headDx = head.BackwardInto(a.headDx, h, dlogits)
 		for i := range dh {
-			dh[i] += dhk[i]
+			dh[i] += a.headDx[i]
 		}
 	}
 	for i := range dh {
 		dh[i] *= 1 - h[i]*h[i] // through the trunk-output tanh
 	}
-	a.trunk.Backward(cache, dh)
+	a.trunk.BackwardReuse(cache, dh)
 }
 
 func clampF(x, lo, hi float64) float64 {

@@ -179,6 +179,25 @@ func TestGreedyActDeterministic(t *testing.T) {
 	}
 }
 
+// TestTrainAllocsNearZero pins the Train hot path to agent-owned scratch:
+// after one warm-up update, further updates must not allocate. PPO training
+// is ~80% of BenchmarkTuneParallel's CPU, so allocation churn here is tuner
+// wall-clock (and GC) time.
+func TestTrainAllocsNearZero(t *testing.T) {
+	rng := xrand.New(11)
+	a := NewAgent(6, []int{10, 3, 3, 3}, DefaultConfig(), rng)
+	state := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	for i := 0; i < 100; i++ {
+		d := a.Act(state)
+		a.Observe(Transition{State: state, Acts: d.Acts, OldLogP: d.LogProb,
+			Reward: float64(i % 3), Value: d.Value, NextValue: d.Value})
+	}
+	a.Train() // warm the scratch buffers
+	if got := testing.AllocsPerRun(10, a.Train); got > 0 {
+		t.Fatalf("warm Train allocates %v times per run, want 0", got)
+	}
+}
+
 func TestTrainOnEmptyBufferIsSafe(t *testing.T) {
 	a := NewAgent(2, []int{2}, DefaultConfig(), xrand.New(8))
 	a.Train() // must not panic

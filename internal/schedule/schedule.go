@@ -39,11 +39,21 @@ type Schedule struct {
 	// NumUnroll is the length of that list (platform-dependent, fixed at
 	// sampling time so the schedule stays platform-agnostic afterwards).
 	NumUnroll int
+
+	// feats memoizes Features(): every consumer of a schedule — cost-model
+	// training, batch scoring, the RL state vector — reads the same vector,
+	// and the tuning loops read it many times per candidate. The cache is
+	// computed lazily on first read and dropped by Clone, which every
+	// mutation path (Apply, Mutate) goes through before changing fields.
+	feats []float64
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The feature cache is not carried over: clones
+// exist to be mutated (Apply, Mutate), and a fresh schedule recomputes its
+// vector on first read.
 func (s *Schedule) Clone() *Schedule {
 	c := *s
+	c.feats = nil
 	c.SpatialTiles = make([][]int, len(s.SpatialTiles))
 	for i, t := range s.SpatialTiles {
 		c.SpatialTiles[i] = append([]int(nil), t...)
@@ -375,7 +385,20 @@ func FeatureDim(sk *sketch.Sketch) int {
 // [0, 1]; derived features expose the quantities the performance landscape
 // actually depends on (parallel chunk count, innermost vector extent, tile
 // footprint proxies).
+//
+// The vector is computed once and memoized: repeat reads return the cached
+// slice with zero allocations (pinned by TestFeaturesCachedAllocs). Callers
+// must treat the result as read-only — it is shared by every consumer of the
+// schedule.
 func (s *Schedule) Features() []float64 {
+	if s.feats == nil {
+		s.feats = s.computeFeatures()
+	}
+	return s.feats
+}
+
+// computeFeatures builds the feature vector from the current configuration.
+func (s *Schedule) computeFeatures() []float64 {
 	out := make([]float64, 0, FeatureDim(s.Sk))
 	main := s.Sk.MainStage()
 	for a, row := range s.SpatialTiles {

@@ -176,6 +176,51 @@ func TestFeaturesStableLength(t *testing.T) {
 	}
 }
 
+// TestFeaturesCacheCorrect pins the memoized Features() against a fresh
+// computation across the mutation paths: the cache must never serve a stale
+// vector after Apply or Mutate produced a new schedule.
+func TestFeaturesCacheCorrect(t *testing.T) {
+	rng := xrand.New(20)
+	sk := gemmSketch(t)
+	s := NewRandom(sk, 4, rng)
+	same := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 200; i++ {
+		if !same(s.Features(), s.computeFeatures()) {
+			t.Fatalf("step %d: cached features differ from fresh computation", i)
+		}
+		if i%2 == 0 {
+			s = s.Mutate(rng)
+		} else {
+			s = s.Apply(Action{
+				Tiling:    rng.Intn(s.NumTilingActions()),
+				ComputeAt: rng.Intn(DeltaActions),
+				Parallel:  rng.Intn(DeltaActions),
+				Unroll:    rng.Intn(DeltaActions),
+			})
+		}
+	}
+}
+
+// TestFeaturesCachedAllocs pins the memo: re-reading a schedule's features
+// allocates nothing (the first read computes and caches the vector).
+func TestFeaturesCachedAllocs(t *testing.T) {
+	rng := xrand.New(21)
+	s := NewRandom(gemmSketch(t), 4, rng)
+	if n := testing.AllocsPerRun(100, func() { s.Features() }); n != 0 {
+		t.Fatalf("cached Features() allocates %.1f objects per read, want 0", n)
+	}
+}
+
 func TestKeyDistinguishesConfigs(t *testing.T) {
 	rng := xrand.New(9)
 	sk := gemmSketch(t)

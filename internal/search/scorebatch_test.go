@@ -1,0 +1,39 @@
+package search
+
+import (
+	"runtime"
+	"testing"
+
+	"harl/internal/schedule"
+	"harl/internal/workload"
+)
+
+// TestScoreBatchAllocs pins the steady-state allocation cost of batch
+// scoring. With memoized schedule features, pooled chunk buffers and the
+// model's write-into batch kernel, scoring N already-featurized candidates
+// costs the output slice plus a few pool accesses — far under one allocation
+// per candidate (the pre-optimization path allocated a feature vector per
+// candidate plus a feature matrix and prediction slice per chunk).
+func TestScoreBatchAllocs(t *testing.T) {
+	task, _ := newTestTask(t, workload.GEMM("g", 1, 256, 256, 256), 32)
+	task.ExploreRandom(32)
+	const n = 512
+	var batch []*schedule.Schedule
+	for i := 0; i < n; i++ {
+		batch = append(batch, task.RandomSchedule(task.Sketches[i%len(task.Sketches)]))
+	}
+	task.ScoreBatch(batch) // warm: feature memos, score buffers
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		task.ScoreBatch(batch)
+	}
+	runtime.ReadMemStats(&after)
+	perCandidate := float64(after.Mallocs-before.Mallocs) / float64(rounds) / float64(n)
+	if perCandidate > 0.25 {
+		t.Fatalf("ScoreBatch allocates %.3f objects per candidate, want ≤ 0.25", perCandidate)
+	}
+}

@@ -17,6 +17,7 @@ package search
 import (
 	"context"
 	"math"
+	"sync"
 
 	"harl/internal/costmodel"
 	"harl/internal/hardware"
@@ -363,8 +364,16 @@ func (t *Task) evalRemote(scheds []*schedule.Schedule, jobs []measureJob, out []
 	return true
 }
 
-// refitCost rebuilds the cost model and counts the refit.
+// refitCost rebuilds the cost model and counts the refit. Models that can
+// fan their refit scans across workers get the task's pool first; the fitted
+// ensemble is bit-identical for every pool width (see
+// costmodel.ParallelRefitter), so this only changes refit wall-clock time.
+// The hook is re-installed per refit because the pool is attached to the task
+// after construction (core wires it per tuner).
 func (t *Task) refitCost() {
+	if pr, ok := t.Cost.(costmodel.ParallelRefitter); ok {
+		pr.SetRunner(t.Pool.Run)
+	}
 	t.Cost.Refit()
 	t.CostRefits++
 }
@@ -436,10 +445,28 @@ func (t *Task) Score(s *schedule.Schedule) float64 {
 // the pool.
 const scoreChunk = 64
 
+// scoreBuf holds one chunk's scratch — the feature-pointer matrix and the
+// prediction output. Chunks borrow from scoreBufPool so steady-state scoring
+// reuses a handful of buffers instead of allocating two slices per chunk per
+// round; schedule feature vectors themselves are memoized on the schedules,
+// so a chunk's feature "matrix" is pointers into those caches.
+type scoreBuf struct {
+	feats [][]float64
+	preds []float64
+}
+
+var scoreBufPool = sync.Pool{New: func() any {
+	return &scoreBuf{
+		feats: make([][]float64, scoreChunk),
+		preds: make([]float64, scoreChunk),
+	}
+}}
+
 // ScoreBatch scores many schedules at once: contiguous chunks fan out
 // across the task's Pool, and each chunk extracts its features and predicts
-// them in one PredictBatch pass. Chunks write disjoint output ranges and
-// PredictBatch is bit-identical to element-wise Predict (the model is
+// them in one PredictBatch pass (into a pooled buffer when the model supports
+// costmodel.BatchInto). Chunks write disjoint output ranges and batch
+// prediction is bit-identical to element-wise Predict (the model is
 // read-only between refits), so ScoreBatch matches Score element-wise for
 // every pool width. It charges the same per-query search cost as Score and
 // returns scores aligned with the input.
@@ -452,6 +479,7 @@ func (t *Task) ScoreBatch(scheds []*schedule.Schedule) []float64 {
 		return out
 	}
 	t.Meas.AddCostModelQueries(len(scheds))
+	into, _ := t.Cost.(costmodel.BatchInto)
 	nChunks := (len(scheds) + scoreChunk - 1) / scoreChunk
 	t.Pool.Run(nChunks, func(c int) {
 		lo := c * scoreChunk
@@ -459,13 +487,21 @@ func (t *Task) ScoreBatch(scheds []*schedule.Schedule) []float64 {
 		if hi > len(scheds) {
 			hi = len(scheds)
 		}
-		feats := make([][]float64, hi-lo)
+		sb := scoreBufPool.Get().(*scoreBuf)
+		feats := sb.feats[:hi-lo]
 		for i := range feats {
 			feats[i] = scheds[lo+i].Features()
 		}
-		for i, p := range t.Cost.PredictBatch(feats) {
+		preds := sb.preds[:hi-lo]
+		if into != nil {
+			into.PredictBatchInto(feats, preds)
+		} else {
+			preds = t.Cost.PredictBatch(feats)
+		}
+		for i, p := range preds {
 			out[lo+i] = costmodel.ToThroughput(p)
 		}
+		scoreBufPool.Put(sb)
 	})
 	return out
 }

@@ -1,0 +1,42 @@
+package harl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedJournalByteIdentity re-runs the exact tuning configuration that
+// produced the committed pretraining journal and requires a byte-identical
+// result. This is the end-to-end bit-identity gate for the search hot path:
+// any drift in the cost model's arithmetic (flattened prediction kernels,
+// parallel or buffer-reusing refit), the feature cache, or the measurement
+// pipeline changes some prediction, which changes some candidate ranking,
+// which changes the measured trial sequence — and this comparison fails.
+func TestCommittedJournalByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-tunes the committed 96-trial GEMM workload")
+	}
+	path := filepath.Join(t.TempDir(), "regen.jsonl")
+	_, err := TuneOperator(pretrainWorkload(), CPU(), Options{
+		Scheduler: "harl",
+		Trials:    96,
+		Seed:      7,
+		RecordLog: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(committedPretrainJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("regenerated journal differs from %s (%d vs %d bytes): the search hot path is no longer bit-identical to the committed baseline",
+			committedPretrainJournal, len(got), len(want))
+	}
+}
