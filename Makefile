@@ -2,6 +2,9 @@
 #
 #   make           — vet + build + unit tests
 #   make fmt       — gofmt the whole tree in place
+#   make lint      — the determinism lint suite (internal/lint) as a vet
+#                    tool over every package including tests, plus
+#                    staticcheck when it is on PATH
 #   make race      — the full suite under the race detector (the merge gate
 #                    for anything touching the concurrent tuning engine)
 #   make bench     — one pass over every experiment benchmark
@@ -12,7 +15,7 @@
 #                    bench/baseline.txt (needs benchstat on PATH:
 #                    go install golang.org/x/perf/cmd/benchstat@latest)
 #   make cover     — coverage profile across ./... and the total percentage
-#   make check     — everything: vet, build, tests, race
+#   make check     — everything: vet, lint, build, tests, race
 
 GO ?= go
 
@@ -22,7 +25,7 @@ GO ?= go
 HOT_BENCH ?= ^(BenchmarkScheduleFeatures|BenchmarkScoreBatch|BenchmarkRefit|BenchmarkPredictBatch)$$
 BENCH_COUNT ?= 10
 
-.PHONY: all fmt vet build test race bench bench-hot benchcmp cover check
+.PHONY: all fmt vet lint build test race bench bench-hot benchcmp cover check
 
 all: vet build test
 
@@ -31,6 +34,20 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Running the suite through `go vet -vettool` (rather than standalone) rides
+# vet's per-package result cache and covers _test.go-adjacent packages; the
+# binary's -V=full content hash invalidates the cache when analyzers change.
+# staticcheck is optional locally (CI installs a pinned version).
+lint:
+	$(GO) build -o bin/harl-lint ./cmd/harl-lint
+	$(GO) vet -vettool=bin/harl-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck -checks=SA ./..."; \
+		staticcheck -checks=SA ./...; \
+	else \
+		echo "staticcheck not on PATH; skipping (CI runs it pinned)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -56,4 +73,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-check: vet build test race
+check: vet lint build test race

@@ -1,0 +1,77 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"harl/internal/lint"
+)
+
+// TestAllowPolicy pins the suppression contract on the allowpolicy fixture:
+// a justified allow silences its diagnostic; a reasonless allow, a typo'd
+// analyzer name and a stale allow each surface as diagnostics of their own,
+// and a broken allow suppresses nothing.
+func TestAllowPolicy(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./internal/lint/testdata/src/allowpolicy/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 fixture package, got %d", len(pkgs))
+	}
+	diags, err := lint.Run(pkgs[0], []*lint.Analyzer{lint.NewDetrand(fixtureScope)}, lint.Options{ReportStaleAllows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		// BadNoReason: the reasonless allow is malformed, and the wall-clock
+		// read it hoped to cover survives.
+		"malformed //lint:allow: need an analyzer name and a justification",
+		"time.Now (wall clock) in deterministic package",
+		// BadTypo: the unknown analyzer name plus the unsuppressed finding.
+		"unknown analyzer detrnd in //lint:allow",
+		"os.Getpid (process identity) in deterministic package",
+		// BadStale: the dead allow.
+		"stale //lint:allow: no detrand diagnostic",
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("want %d diagnostics, got %d:\n%s", len(wants), len(diags), render(diags))
+	}
+	for _, want := range wants {
+		if !containsDiag(diags, want) {
+			t.Errorf("missing diagnostic containing %q:\n%s", want, render(diags))
+		}
+	}
+	// GoodAllowed's time.Now is on line 17; its justified allow must have
+	// silenced it — exactly one surviving time.Now finding (BadNoReason's).
+	now := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "time.Now") {
+			now++
+		}
+	}
+	if now != 1 {
+		t.Errorf("want exactly 1 surviving time.Now diagnostic (the unjustified one), got %d:\n%s", now, render(diags))
+	}
+}
+
+func containsDiag(diags []lint.Diagnostic, substr string) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func render(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

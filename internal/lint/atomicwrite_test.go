@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"harl/internal/lint"
+	"harl/internal/lint/linttest"
+)
+
+func TestAtomicwriteFixture(t *testing.T) {
+	linttest.Run(t, lint.NewAtomicwrite(fixtureScope), "atomicwrite/a")
+}

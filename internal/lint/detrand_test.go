@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"testing"
+
+	"harl/internal/lint"
+	"harl/internal/lint/linttest"
+)
+
+// fixtureScope points the analyzers at the fixture tree instead of their
+// production package lists.
+var fixtureScope = []string{"harl/internal/lint/testdata/..."}
+
+func TestDetrandFixture(t *testing.T) {
+	linttest.Run(t, lint.NewDetrand(fixtureScope), "detrand/a")
+}
+
+// TestDetrandScope pins that the analyzer stays silent outside its scope: the
+// same fixture package analyzed under the production scope produces nothing.
+func TestDetrandScope(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./internal/lint/testdata/src/detrand/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, []*lint.Analyzer{lint.NewDetrand(lint.DeterministicPackages)}, lint.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("out-of-scope package %s still produced diagnostics: %v", pkg.Path, diags)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Load loads and type-checks the packages matching the go list patterns,
+// resolving imports through compiler export data: it shells out to
+// `go list -export -deps -json` (which compiles dependencies into the build
+// cache as needed) and type-checks only the matched packages' sources. This
+// keeps the loader offline and stdlib-only — the trade the suite makes for
+// not depending on golang.org/x/tools.
+//
+// dir anchors the go tool invocation (any directory inside the module).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		wanted[t.ImportPath] = true
+	}
+	all, err := goList(dir, append([]string{"-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Standard"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(all))
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportDataImporter(fset, func(path string) (string, error) {
+		e, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("lint: no export data for import %q", path)
+		}
+		return e, nil
+	})
+	var out []*Package
+	for _, p := range all {
+		if !wanted[p.ImportPath] || p.Standard {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := TypeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: parse go list output: %w", err)
+		}
+		out = append(out, &p)
+	}
+}
+
+// ExportDataImporter builds a go/types importer that reads gc export data,
+// locating each package's export file through resolve. One importer instance
+// memoizes loaded packages, so it is shared across a load. cmd/harl-lint's
+// vettool mode reuses it with the resolve table go vet supplies.
+func ExportDataImporter(fset *token.FileSet, resolve func(path string) (string, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, err := resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+}
+
+// TypeCheck parses and type-checks one package from explicit file paths —
+// the shared backend of Load and of cmd/harl-lint's vettool mode, which gets
+// its file and export-data lists from go vet instead of go list.
+func TypeCheck(fset *token.FileSet, importPath string, files []string, imp types.Importer) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(strippedPath(importPath), fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  strippedPath(importPath),
+		Fset:  fset,
+		Files: parsed,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// strippedPath removes the test-variant suffix go vet appends to internal
+// test packages ("harl/internal/search [harl/internal/search.test]").
+func strippedPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// ModuleRoot walks up from dir to the directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,63 @@
+// Package a is the atomicwrite fixture: bare writes of persisted artifacts,
+// beside the sanctioned atomicfile and append-only journal shapes and one
+// justified suppression.
+package a
+
+import (
+	"os"
+
+	"harl/internal/atomicfile"
+	"harl/internal/tunelog"
+)
+
+// BadWriteFile tears the checkpoint on a crash mid-write.
+func BadWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "bare os.WriteFile of a persisted artifact"
+}
+
+// BadCreate truncates the artifact before the new bytes are durable.
+func BadCreate(path string, data []byte) error {
+	f, err := os.Create(path) // want "bare os.Create of a persisted artifact"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// BadTruncOpen opens for writing without O_APPEND.
+func BadTruncOpen(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644) // want "os.OpenFile opens for writing without O_APPEND"
+}
+
+// GoodAtomic goes through temp file + rename + fsync.
+func GoodAtomic(path string, data []byte) error {
+	return atomicfile.WriteFile(path, data, 0o644)
+}
+
+// GoodJournal appends through the locked journal helper.
+func GoodJournal(path string, rec tunelog.Record) error {
+	j, err := tunelog.OpenJournal(path)
+	if err != nil {
+		return err
+	}
+	if err := j.Append(rec); err != nil {
+		j.Close() //lint:allow errclose fixture brevity, append error already reported
+		return err
+	}
+	return j.Close()
+}
+
+// GoodAppendOpen opens append-only — the journal shape.
+func GoodAppendOpen(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+}
+
+// GoodLockFile opens a lock file without O_APPEND: the inode never carries
+// data, it only anchors the advisory flock — the suppression documents it.
+func GoodLockFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644) //lint:allow atomicwrite lock-file inode, carries an advisory flock and no data
+}

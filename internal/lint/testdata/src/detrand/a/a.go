@@ -1,0 +1,42 @@
+// Package a is the detrand fixture: wall clocks, math/rand and
+// process-identity reads inside a deterministic package, beside clean code
+// and one justified suppression.
+package a
+
+import (
+	"math/rand" // want "import of math/rand in deterministic package"
+	"os"
+	"time"
+
+	"harl/internal/xrand"
+)
+
+// BadSeed derives a seed from the wall clock and the process id — the exact
+// pattern that breaks journal replay.
+func BadSeed() int64 {
+	seed := time.Now().UnixNano() // want "time.Now (wall clock) in deterministic package"
+	seed ^= int64(os.Getpid())    // want "os.Getpid (process identity) in deterministic package"
+	return seed
+}
+
+// BadEnv folds an environment variable into a tuning decision.
+func BadEnv() string {
+	return os.Getenv("HARL_SEED") // want "os.Getenv (environment-derived value) in deterministic package"
+}
+
+// BadGlobalRand uses the banned package (the import is already flagged; the
+// call resolves into math/rand and is not double-reported).
+func BadGlobalRand() int {
+	return rand.Int()
+}
+
+// GoodDraw draws from the explicit task stream — the sanctioned seam.
+func GoodDraw(rng *xrand.RNG) float64 {
+	return rng.Float64()
+}
+
+// GoodElapsed measures wall time for operator-facing logging only; the value
+// never reaches a seed, a journal or a schedule decision.
+func GoodElapsed(start time.Time) time.Duration {
+	return time.Since(start) //lint:allow detrand operator-facing log line only, value never enters the search state
+}

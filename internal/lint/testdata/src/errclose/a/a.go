@@ -1,0 +1,72 @@
+// Package a is the errclose fixture: discarded Close errors on journals and
+// lock handles, beside checked closes, out-of-scope closes and one justified
+// suppression.
+package a
+
+import (
+	"errors"
+	"os"
+
+	"harl/internal/tunelog"
+)
+
+// BadBareClose drops the retained write error a journal surfaces at Close.
+func BadBareClose(j *tunelog.Journal, rec tunelog.Record) {
+	j.Append(rec) // Append errors are retained; Close surfaces them — and is dropped here.
+	j.Close()     // want "unchecked Journal.Close discards its error"
+}
+
+// BadDeferClose defers the close with the error silently dropped.
+func BadDeferClose(path string, rec tunelog.Record) error {
+	j, err := tunelog.OpenJournal(path)
+	if err != nil {
+		return err
+	}
+	defer j.Close() // want "deferred Journal.Close discards its error"
+	return j.Append(rec)
+}
+
+// BadBlankClose discards explicitly — still a contract violation here: a
+// journal close failure means the tail may never have reached the disk.
+func BadBlankClose(j *tunelog.Journal) {
+	_ = j.Close() // want "explicitly discarded Journal.Close discards its error"
+}
+
+// BadLockRelease drops a flock-release failure on the handle
+// tunelog.AcquireFileLock returns.
+func BadLockRelease(path string) error {
+	flock, err := tunelog.AcquireFileLock(path)
+	if err != nil {
+		return err
+	}
+	flock.Close() // want "unchecked io.Closer (lock handle).Close discards its error"
+	return nil
+}
+
+// GoodCheckedClose joins the close error into the result.
+func GoodCheckedClose(path string, rec tunelog.Record) error {
+	j, err := tunelog.OpenJournal(path)
+	if err != nil {
+		return err
+	}
+	return errors.Join(j.Append(rec), j.Close())
+}
+
+// GoodOSFileClose is out of scope: an os.File close on a read path carries
+// no journal write signal.
+func GoodOSFileClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// GoodAllowedClose documents why this close error is ignorable: the journal
+// wraps a bytes-only writer owned by the caller, so Close cannot fail.
+func GoodAllowedClose(j *tunelog.Journal) {
+	j.Close() //lint:allow errclose journal wraps an in-memory writer, Close has no closer and only echoes Err
+}

@@ -1,0 +1,76 @@
+// Package a is the maporder fixture: map iterations feeding order-sensitive
+// sinks, beside the sanctioned collect-sort-emit idiom and one justified
+// suppression.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"harl/internal/tunelog"
+)
+
+// BadJournal appends one record per map entry — journal bytes then depend on
+// Go's randomized iteration order.
+func BadJournal(j *tunelog.Journal, best map[string]tunelog.Record) error {
+	for _, rec := range best {
+		if err := j.Append(rec); err != nil { // want "journal append inside a map-range body"
+			return err
+		}
+	}
+	return nil
+}
+
+// BadEncode writes one JSON document per entry.
+func BadEncode(w io.Writer, m map[string]int) error {
+	enc := json.NewEncoder(w)
+	for k, v := range m {
+		if err := enc.Encode([2]any{k, v}); err != nil { // want "json encode of Encode inside a map-range body"
+			return err
+		}
+	}
+	return nil
+}
+
+// BadHash folds entries into a fingerprint in map order.
+func BadHash(m map[string]string) uint64 {
+	h := fnv.New64a()
+	for k, v := range m {
+		h.Write([]byte(k + "=" + v)) // want "hash write inside a map-range body"
+	}
+	return h.Sum64()
+}
+
+// BadPrint renders a wire body line by line in map order.
+func BadPrint(w io.Writer, counters map[string]int64) {
+	for name, v := range counters {
+		fmt.Fprintf(w, "%s %d\n", name, v) // want "writer print fmt.Fprintf inside a map-range body"
+	}
+}
+
+// GoodSorted is the sanctioned idiom: collect, sort, then emit — the sink
+// ranges over the sorted slice, not the map.
+func GoodSorted(j *tunelog.Journal, best map[string]tunelog.Record) error {
+	keys := make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := j.Append(best[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodDebugDump prints a map for interactive debugging where ordering is
+// explicitly irrelevant; the suppression documents why.
+func GoodDebugDump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "debug %s=%d\n", k, v) //lint:allow maporder interactive debug dump, never journaled or hashed
+	}
+}

@@ -1,0 +1,47 @@
+// Package a is the wireenvelope fixture: handler code answering with bare
+// http.Error text and anonymous map literals, beside the contract-conforming
+// shapes and one justified suppression.
+package a
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"harl/internal/wire"
+)
+
+// healthBody is a named, versioned response type — the sanctioned shape.
+type healthBody struct {
+	Status string `json:"status"`
+}
+
+// BadError answers with a bare text body instead of the v1 envelope.
+func BadError(w http.ResponseWriter) {
+	http.Error(w, "no such job", http.StatusNotFound) // want "http.Error bypasses the v1 error envelope"
+}
+
+// BadMapBody invents a response shape inline.
+func BadMapBody(w http.ResponseWriter) {
+	wire.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok"}) // want "anonymous map[string] response literal"
+}
+
+// BadMarshalMap marshals an ad-hoc map for a response body.
+func BadMarshalMap() ([]byte, error) {
+	return json.Marshal(map[string]string{"state": "done"}) // want "anonymous map[string] response literal"
+}
+
+// GoodError routes through the envelope with a stable code.
+func GoodError(w http.ResponseWriter) {
+	wire.WriteError(w, http.StatusNotFound, wire.CodeNotFound, "no such job")
+}
+
+// GoodBody answers with the named type.
+func GoodBody(w http.ResponseWriter) {
+	wire.WriteJSON(w, http.StatusOK, healthBody{Status: "ok"})
+}
+
+// GoodLabels marshals a map that is not a response body: it feeds a test
+// fixture file, documented by the suppression.
+func GoodLabels() ([]byte, error) {
+	return json.Marshal(map[string]string{"fixture": "labels"}) //lint:allow wireenvelope test-fixture payload, not an HTTP response body
+}

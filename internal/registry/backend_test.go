@@ -71,6 +71,7 @@ func TestBackendConformance(t *testing.T) {
 			t.Run("RefreshAfterForeignAppend", func(t *testing.T) { testRefreshAfterForeignAppend(t, layout) })
 			t.Run("ConcurrentResolveDuringPublish", func(t *testing.T) { testConcurrentResolveDuringPublish(t, layout) })
 			t.Run("AppendFailureReloadsState", func(t *testing.T) { testAppendFailureReloadsState(t, layout) })
+			t.Run("CloseFailureSurfacesAndReloads", func(t *testing.T) { testCloseFailureSurfacesAndReloads(t, layout) })
 		})
 	}
 }
@@ -304,5 +305,44 @@ func testAppendFailureReloadsState(t *testing.T, layout Layout) {
 	defer fresh.Close()
 	if got, ok := resolve(t, fresh, "w@fail", rec2.Target, "harl"); !ok || got != rec2 {
 		t.Fatalf("retried record not durable: %+v, %v", got, ok)
+	}
+}
+
+// writeOKCloseFail writes successfully but fails on Close — an fsync-or-flush
+// error that only surfaces when the journal handle is released.
+type writeOKCloseFail struct{ err error }
+
+func (writeOKCloseFail) Write(p []byte) (int, error) { return len(p), nil }
+func (w writeOKCloseFail) Close() error              { return w.err }
+
+// testCloseFailureSurfacesAndReloads is the errclose regression: a journal
+// close error after otherwise-successful appends must reach the publisher
+// (not vanish into a discarded Close) and must trip the same reload-from-disk
+// path as a write failure — records the close may not have made durable must
+// not be claimed as seen, or a retry would be dedup-skipped and lost.
+func testCloseFailureSurfacesAndReloads(t *testing.T, layout Layout) {
+	dir := t.TempDir()
+	r := openLayout(t, dir, layout)
+	defer r.Close()
+	boom := errors.New("injected close failure")
+	restore := setJournalHook(t, r, func(string) (*tunelog.Journal, error) {
+		return tunelog.NewJournalWriteCloser(writeOKCloseFail{boom}), nil
+	})
+	rec := synthRecord("w@closefail", "harl", 1e-4, 1)
+	if _, err := r.PublishBatch([]tunelog.Record{rec}); !errors.Is(err, boom) {
+		t.Fatalf("publish through close-failing journal: err=%v, want the injected close failure", err)
+	}
+	restore()
+	// The retry must re-append: the failed close means the journal never
+	// durably got the record, so the dedup set must not claim it.
+	n, err := r.PublishBatch([]tunelog.Record{rec})
+	if err != nil {
+		t.Fatalf("retry after failed close: %v", err)
+	}
+	if n != 1 {
+		t.Fatal("retried record was dedup-skipped: close failure left it claimed as seen")
+	}
+	if got, ok := resolve(t, r, "w@closefail", rec.Target, "harl"); !ok || got != rec {
+		t.Fatalf("Resolve after retry = %+v, %v", got, ok)
 	}
 }

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -121,8 +122,7 @@ func (b *fileBackend) AppendBatch(recs []tunelog.Record) ([]bool, error) {
 	// making them permanently invisible to this process.
 	if stampOf(path) != b.stamp {
 		if err := b.loadLocked(); err != nil {
-			jr.Close()
-			return nil, err
+			return nil, errors.Join(err, jr.Close())
 		}
 	}
 	improved := make([]bool, len(recs))
@@ -132,8 +132,7 @@ func (b *fileBackend) AppendBatch(recs []tunelog.Record) ([]bool, error) {
 			continue
 		}
 		if err := jr.Append(rec); err != nil {
-			jr.Close()
-			return nil, b.failAppendLocked(err)
+			return nil, errors.Join(b.failAppendLocked(err), jr.Close())
 		}
 		appended++
 		b.seen[rec] = true

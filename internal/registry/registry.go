@@ -37,6 +37,7 @@ package registry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -327,8 +328,7 @@ func Migrate(dir string, o Options) error {
 		return err
 	}
 	if _, err := sb.AppendBatch(db.Records()); err != nil {
-		sb.Close()
-		return fmt.Errorf("registry: migrate: %w", err)
+		return errors.Join(fmt.Errorf("registry: migrate: %w", err), sb.Close())
 	}
 	if err := sb.Close(); err != nil {
 		return err

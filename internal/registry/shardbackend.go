@@ -2,6 +2,7 @@ package registry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -310,7 +311,7 @@ func (b *shardedBackend) AppendBatch(recs []tunelog.Record) ([]bool, error) {
 
 // appendShardLocked appends one shard's slice of the batch under the shard's
 // cross-process lock. Caller holds the backend write lock.
-func (b *shardedBackend) appendShardLocked(s *shard, recs []tunelog.Record, idxs []int, improved []bool) error {
+func (b *shardedBackend) appendShardLocked(s *shard, recs []tunelog.Record, idxs []int, improved []bool) (err error) {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return fmt.Errorf("registry: create shard dir: %w", err)
 	}
@@ -318,7 +319,13 @@ func (b *shardedBackend) appendShardLocked(s *shard, recs []tunelog.Record, idxs
 	if err != nil {
 		return err
 	}
-	defer flock.Close()
+	// A failed lock release means the fd leaked and the shard may stay locked
+	// for the process lifetime — surface it unless an append error already won.
+	defer func() {
+		if cerr := flock.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("registry: release shard %s lock: %w", s.id, cerr)
+		}
+	}()
 	b.stats.LockAcquisitions++
 	// Load under the lock: while we waited, another process may have appended
 	// or compacted — the shard is frozen to other writers now, so what we
@@ -344,8 +351,7 @@ func (b *shardedBackend) appendShardLocked(s *shard, recs []tunelog.Record, idxs
 	}
 	for _, i := range fresh {
 		if err := jr.Append(recs[i]); err != nil {
-			jr.Close()
-			return b.failShardAppendLocked(s, err)
+			return errors.Join(b.failShardAppendLocked(s, err), jr.Close())
 		}
 		s.idx.seen[recs[i]] = true
 		s.idx.size++

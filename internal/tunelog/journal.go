@@ -101,7 +101,7 @@ func repairTornTail(f *os.File) error {
 // itself — the sharded registry locks shards/<xx>/lock so compaction can
 // rename-replace the shard journal without orphaning waiters' flocks.
 func AcquireFileLock(path string) (io.Closer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644) //lint:allow atomicwrite lock-file inode: it anchors the advisory flock and never carries data
 	if err != nil {
 		return nil, fmt.Errorf("tunelog: open lock file: %w", err)
 	}
@@ -114,6 +114,11 @@ func AcquireFileLock(path string) (io.Closer, error) {
 
 // NewJournal wraps an arbitrary writer (tests, in-memory journals).
 func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// NewJournalWriteCloser wraps a writer whose Close matters: Close propagates
+// the closer's error exactly like the file-backed journals do. Tests use it
+// to prove close failures are not swallowed by callers.
+func NewJournalWriteCloser(wc io.WriteCloser) *Journal { return &Journal{w: wc, c: wc} }
 
 // Append writes one record as a JSONL line. The first error encountered is
 // returned and retained (Err) so fire-and-forget callers inside measurement

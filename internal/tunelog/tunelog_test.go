@@ -204,6 +204,45 @@ type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
 
+// closeFailWriter writes successfully but fails on Close — the shape of a
+// buffered flush error surfacing only at close time.
+type closeFailWriter struct{ err error }
+
+func (closeFailWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w closeFailWriter) Close() error              { return w.err }
+
+// allFailWriter fails both Write and Close.
+type allFailWriter struct{ err error }
+
+func (allFailWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+func (w allFailWriter) Close() error            { return w.err }
+
+func TestJournalClosePropagatesCloserError(t *testing.T) {
+	boom := fmt.Errorf("flush failed at close")
+	jr := NewJournalWriteCloser(closeFailWriter{err: boom})
+	s, _ := sampleSchedule(1)
+	sg := workload.GEMM("g", 1, 64, 64, 64)
+	if err := jr.Append(NewRecord(sg, "cpu", "harl", s, 1e-5, 1, 7)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := jr.Close(); err == nil || !strings.Contains(err.Error(), "flush failed at close") {
+		t.Fatalf("Close = %v, want the closer's error", err)
+	}
+	// The close failure is retained like a write failure: a caller that only
+	// checks Err at end of run still sees it.
+	if jr.Err() == nil {
+		t.Fatal("close error must be retained in Err")
+	}
+	// A write error that happened first wins over the close error.
+	jr2 := NewJournalWriteCloser(allFailWriter{err: boom})
+	if err := jr2.Append(NewRecord(sg, "cpu", "harl", s, 1e-5, 1, 7)); err == nil {
+		t.Fatal("write error must surface")
+	}
+	if err := jr2.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close after failed write = %v, want the sticky write error", err)
+	}
+}
+
 func TestParseLineRejectsNonPositiveExec(t *testing.T) {
 	for _, exec := range []string{"0", "-1e-5"} {
 		line := fmt.Sprintf(`{"v":1,"workload":"w@0","target":"cpu","scheduler":"harl","steps":"sk=0 ca=0 pf=0 ur=0/1","exec_sec":%s,"trial":1,"seed":1}`, exec)
